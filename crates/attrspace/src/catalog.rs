@@ -1,0 +1,152 @@
+use std::collections::HashMap;
+
+use crate::{RawValue, SpaceError};
+
+/// A stable mapping between symbolic attribute values and the natural
+/// numbers the overlay routes on.
+///
+/// The paper's §3 assumes "attribute values can be uniquely mapped to
+/// natural numbers (although they need not be represented as such)" and
+/// gives queries like `CPU = IA32` and `OS ∈ {Linux 2.6.19-1.2895, …}`.
+/// `ValueCatalog` is that mapping: symbols are assigned codes in
+/// *registration order*, so consecutive registration of an ordered family
+/// (e.g. kernel versions) makes symbolic ranges meaningful range queries.
+///
+/// ```
+/// use attrspace::ValueCatalog;
+///
+/// let mut os = ValueCatalog::new();
+/// os.register("linux-2.6.19")?;
+/// os.register("linux-2.6.20")?;
+/// os.register("linux-2.6.21")?;
+///
+/// let (lo, hi) = os.range("linux-2.6.19", "linux-2.6.21").unwrap();
+/// assert!(lo < hi);
+/// assert_eq!(os.symbol(os.code("linux-2.6.20").unwrap()), Some("linux-2.6.20"));
+/// # Ok::<(), attrspace::SpaceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValueCatalog {
+    codes: HashMap<String, RawValue>,
+    symbols: Vec<String>,
+}
+
+impl ValueCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ValueCatalog::default()
+    }
+
+    /// Builds a catalog from an ordered list of symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::DuplicateDimension`] (reused for duplicate
+    /// symbols) if a symbol appears twice.
+    pub fn from_symbols<I, S>(symbols: I) -> Result<Self, SpaceError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cat = ValueCatalog::new();
+        for s in symbols {
+            cat.register(s)?;
+        }
+        Ok(cat)
+    }
+
+    /// Registers a symbol, assigning it the next code. Returns the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the symbol is already registered.
+    pub fn register(&mut self, symbol: impl Into<String>) -> Result<RawValue, SpaceError> {
+        let symbol = symbol.into();
+        if self.codes.contains_key(&symbol) {
+            return Err(SpaceError::DuplicateDimension { name: symbol });
+        }
+        let code = self.symbols.len() as RawValue;
+        self.codes.insert(symbol.clone(), code);
+        self.symbols.push(symbol);
+        Ok(code)
+    }
+
+    /// The code of a symbol, if registered.
+    pub fn code(&self, symbol: &str) -> Option<RawValue> {
+        self.codes.get(symbol).copied()
+    }
+
+    /// The symbol of a code, if assigned.
+    pub fn symbol(&self, code: RawValue) -> Option<&str> {
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| self.symbols.get(i))
+            .map(String::as_str)
+    }
+
+    /// The inclusive code range spanned by two symbols (in either order),
+    /// for symbolic range queries over version-ordered families.
+    pub fn range(&self, a: &str, b: &str) -> Option<(RawValue, RawValue)> {
+        let ca = self.code(a)?;
+        let cb = self.code(b)?;
+        Some((ca.min(cb), ca.max(cb)))
+    }
+
+    /// Number of registered symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether no symbols are registered.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over `(code, symbol)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (RawValue, &str)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as RawValue, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_defines_codes() {
+        let mut c = ValueCatalog::new();
+        assert_eq!(c.register("ia32").unwrap(), 0);
+        assert_eq!(c.register("x86_64").unwrap(), 1);
+        assert_eq!(c.register("arm64").unwrap(), 2);
+        assert_eq!(c.code("x86_64"), Some(1));
+        assert_eq!(c.symbol(2), Some("arm64"));
+        assert_eq!(c.symbol(9), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_symbols_rejected() {
+        let mut c = ValueCatalog::new();
+        c.register("linux").unwrap();
+        assert!(c.register("linux").is_err());
+    }
+
+    #[test]
+    fn symbolic_ranges_span_versions() {
+        let c = ValueCatalog::from_symbols(["2.6.19", "2.6.20", "2.6.21", "2.6.22"]).unwrap();
+        assert_eq!(c.range("2.6.20", "2.6.22"), Some((1, 3)));
+        assert_eq!(c.range("2.6.22", "2.6.20"), Some((1, 3)), "order-insensitive");
+        assert_eq!(c.range("2.6.20", "9.9"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let c = ValueCatalog::from_symbols(["a", "b"]).unwrap();
+        let got: Vec<(u64, &str)> = c.iter().collect();
+        assert_eq!(got, vec![(0, "a"), (1, "b")]);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the cell algebra — the invariants that make the
+//! paper's query routing loop-free and exactly-once.
+
+use attrspace::{CellCoord, Neighborhood, Query, Range, Region, Space};
+use proptest::prelude::*;
+
+const MAX_LEVEL: u8 = 4; // 16 buckets per dimension keeps exhaustive scans cheap
+
+fn arb_coord(dims: usize) -> impl Strategy<Value = CellCoord> {
+    prop::collection::vec(0u32..(1 << MAX_LEVEL), dims)
+        .prop_map(|idx| CellCoord::new(idx, MAX_LEVEL))
+}
+
+proptest! {
+    /// The neighboring subcells N(l,k) for k = 0..d partition Cl(X) \ C(l-1)(X).
+    #[test]
+    fn subcells_partition_the_shell(
+        x in arb_coord(2),
+        level in 1u8..=MAX_LEVEL,
+        probe in arb_coord(2),
+    ) {
+        let in_outer = x.cell_region(level).contains(&probe);
+        let in_inner = x.cell_region(level - 1).contains(&probe);
+        let hits = (0..2)
+            .filter(|&k| x.neighboring_cell(level, k).contains(&probe))
+            .count();
+        if in_outer && !in_inner {
+            prop_assert_eq!(hits, 1, "shell coordinate must be in exactly one N(l,k)");
+        } else {
+            prop_assert_eq!(hits, 0, "non-shell coordinate must be in no N(l,k)");
+        }
+    }
+
+    /// A node never lies in any of its own neighboring subcells.
+    #[test]
+    fn node_outside_its_own_subcells(x in arb_coord(3), level in 1u8..=MAX_LEVEL) {
+        for k in 0..3 {
+            prop_assert!(!x.neighboring_cell(level, k).contains(&x));
+        }
+    }
+
+    /// N(l,k) is always inside Cl(X) and disjoint from C(l-1)(X).
+    #[test]
+    fn subcell_confined_to_shell(x in arb_coord(3), level in 1u8..=MAX_LEVEL, k in 0usize..3) {
+        let sub = x.neighboring_cell(level, k);
+        prop_assert!(sub.intersects(&x.cell_region(level)));
+        prop_assert!(!sub.intersects(&x.cell_region(level - 1)));
+        // Confinement: every interval of the subcell sits inside Cl's interval.
+        for (s, c) in sub.intervals().iter().zip(x.cell_region(level).intervals()) {
+            prop_assert!(c.0 <= s.0 && s.1 <= c.1);
+        }
+    }
+
+    /// classify() finds the unique (level, dim) slot, and that slot's level is
+    /// the lowest common level.
+    #[test]
+    fn classify_is_consistent(x in arb_coord(4), y in arb_coord(4)) {
+        match x.classify(&y) {
+            Neighborhood::Zero => {
+                prop_assert_eq!(x.lowest_common_level(&y), 0);
+                prop_assert!(x.same_cell(&y, 0));
+            }
+            Neighborhood::Cell { level, dim } => {
+                prop_assert_eq!(x.lowest_common_level(&y), level);
+                prop_assert!(x.neighboring_cell(level, dim).contains(&y));
+                prop_assert!(x.same_cell(&y, level));
+                prop_assert!(!x.same_cell(&y, level - 1));
+                // Uniqueness across all (l,k) pairs.
+                let mut hits = 0;
+                for l in 1..=MAX_LEVEL {
+                    for k in 0..4 {
+                        if x.neighboring_cell(l, k).contains(&y) {
+                            hits += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(hits, 1);
+            }
+        }
+    }
+
+    /// classify is "symmetric enough": if y is in N(l,k)(x) then x is in some
+    /// N(l,k')(y) at the same level (links need not be symmetric in dimension,
+    /// §4.1, but the level always agrees because it is the common level).
+    #[test]
+    fn classify_levels_symmetric(x in arb_coord(3), y in arb_coord(3)) {
+        let lx = match x.classify(&y) {
+            Neighborhood::Zero => 0,
+            Neighborhood::Cell { level, .. } => level,
+        };
+        let ly = match y.classify(&x) {
+            Neighborhood::Zero => 0,
+            Neighborhood::Cell { level, .. } => level,
+        };
+        prop_assert_eq!(lx, ly);
+    }
+
+    /// Query bucket footprints are sound: if a point matches the query, its
+    /// cell coordinate is inside the query's region (never routed past).
+    #[test]
+    fn query_region_is_sound(
+        values in prop::collection::vec(0u64..200, 3),
+        ranges in prop::collection::vec((0u64..200, 0u64..200), 3),
+    ) {
+        let space = Space::uniform(3, 160, MAX_LEVEL).unwrap();
+        let ranges: Vec<Range> = ranges
+            .into_iter()
+            .map(|(a, b)| Range { lo: a.min(b), hi: a.max(b) })
+            .collect();
+        let query = Query::from_ranges(&space, ranges).unwrap();
+        let point = space.point(&values).unwrap();
+        if query.matches(&point) {
+            prop_assert!(query.region().contains(&space.cell_coord(&point)));
+        }
+    }
+
+    /// Cell-aligned queries are exact: matching equals footprint containment.
+    #[test]
+    fn aligned_queries_are_exact(
+        values in prop::collection::vec(0u64..300, 3),
+        intervals in prop::collection::vec((0u32..(1 << MAX_LEVEL), 0u32..(1 << MAX_LEVEL)), 3),
+    ) {
+        let space = Space::uniform(3, 160, MAX_LEVEL).unwrap();
+        let region = Region::new(
+            intervals.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect(),
+        );
+        let query = Query::from_bucket_region(&space, &region);
+        let point = space.point(&values).unwrap();
+        prop_assert_eq!(
+            query.matches(&point),
+            region.contains(&space.cell_coord(&point))
+        );
+    }
+
+    /// Region intersection is exact: two regions intersect iff some coordinate
+    /// is contained in both (checked on small 2-d regions).
+    #[test]
+    fn region_intersection_exact(
+        a in prop::collection::vec((0u32..8, 0u32..8), 2),
+        b in prop::collection::vec((0u32..8, 0u32..8), 2),
+    ) {
+        let ra = Region::new(a.into_iter().map(|(x, y)| (x.min(y), x.max(y))).collect());
+        let rb = Region::new(b.into_iter().map(|(x, y)| (x.min(y), x.max(y))).collect());
+        let mut witness = false;
+        'outer: for i in 0..8u32 {
+            for j in 0..8u32 {
+                let c = CellCoord::new(vec![i, j], 3);
+                if ra.contains(&c) && rb.contains(&c) {
+                    witness = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert_eq!(ra.intersects(&rb), witness);
+    }
+
+    /// bucket() and bucket_bounds() are mutually consistent for arbitrary
+    /// non-uniform boundaries.
+    #[test]
+    fn bucket_bounds_consistent(bounds in prop::collection::btree_set(1u64..10_000, 15)) {
+        let boundaries: Vec<u64> = bounds.into_iter().collect();
+        let dim = attrspace::Dimension::with_boundaries("x", boundaries).unwrap();
+        for idx in 0..dim.buckets() {
+            let (lo, hi) = dim.bucket_bounds(idx);
+            prop_assert_eq!(dim.bucket(lo), idx);
+            prop_assert_eq!(dim.bucket(hi), idx);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Criterion micro-benchmarks: the hot paths of the protocol (cell algebra,
+//! query matching, gossip rounds, oracle wiring, end-to-end queries) and a
+//! head-to-head of query cost against the DHT baseline.
+
+use attrspace::{CellCoord, Space};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dht_baseline::{Ring, SwordIndex};
+use epigossip::{GossipConfig, GossipStack, RankSelector};
+use overlay_sim::workload::random_query;
+use overlay_sim::{Placement, SimCluster, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_cell_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_algebra");
+    for &d in &[5usize, 16] {
+        let coord = CellCoord::new((0..d as u32).map(|i| i % 8).collect(), 3);
+        let other = CellCoord::new((0..d as u32).map(|i| 7 - i % 8).collect(), 3);
+        g.bench_with_input(BenchmarkId::new("neighboring_cell", d), &d, |b, _| {
+            b.iter(|| black_box(coord.neighboring_cell(black_box(3), black_box(d - 1))))
+        });
+        g.bench_with_input(BenchmarkId::new("classify", d), &d, |b, _| {
+            b.iter(|| black_box(coord.classify(black_box(&other))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_matching(c: &mut Criterion) {
+    let space = Space::uniform(16, 80, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let query = random_query(&space, 0.125, &mut rng);
+    let points: Vec<_> = (0..1024)
+        .map(|_| {
+            let vals: Vec<u64> = (0..16).map(|_| rng.gen_range(0..80)).collect();
+            space.point(&vals).unwrap()
+        })
+        .collect();
+    c.bench_function("query_matches_1024_points_d16", |b| {
+        b.iter(|| points.iter().filter(|p| query.matches(black_box(p))).count())
+    });
+}
+
+fn bench_gossip_round(c: &mut Criterion) {
+    c.bench_function("gossip_round_pair", |b| {
+        let cfg = GossipConfig { period_ms: 1, ..GossipConfig::default() };
+        let mut a = GossipStack::new(1, 10u64, cfg.clone(), RankSelector::new(|x: &u64, y: &u64| x.abs_diff(*y)));
+        let mut bb = GossipStack::new(2, 11u64, cfg, RankSelector::new(|x: &u64, y: &u64| x.abs_diff(*y)));
+        a.introduce(2, 11);
+        bb.introduce(1, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            for (dst, m) in a.tick(now, &mut rng) {
+                debug_assert_eq!(dst, 2);
+                for (_, r) in bb.handle(1, m, &mut rng) {
+                    a.handle(2, r, &mut rng);
+                }
+            }
+        })
+    });
+}
+
+fn bench_oracle_wiring(c: &mut Criterion) {
+    let space = Space::uniform(5, 80, 3).unwrap();
+    let mut g = c.benchmark_group("bootstrap");
+    g.sample_size(10);
+    g.bench_function("wire_oracle_5000_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), 3);
+                sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 5_000);
+                sim
+            },
+            |mut sim| sim.wire_oracle(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_query_end_to_end(c: &mut Criterion) {
+    let space = Space::uniform(5, 80, 3).unwrap();
+    let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), 5);
+    sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 10_000);
+    sim.wire_oracle();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut g = c.benchmark_group("query_end_to_end_10k");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("sigma50", |b| {
+        b.iter(|| {
+            let q = random_query(&space, 0.125, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, Some(50));
+            sim.run_to_quiescence();
+            let reported = sim.query_stats(qid).unwrap().reported;
+            sim.forget_query(qid);
+            black_box(reported)
+        })
+    });
+    g.bench_function("unbounded", |b| {
+        b.iter(|| {
+            let q = random_query(&space, 0.03125, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, None);
+            sim.run_to_quiescence();
+            let reported = sim.query_stats(qid).unwrap().reported;
+            sim.forget_query(qid);
+            black_box(reported)
+        })
+    });
+    g.finish();
+}
+
+fn bench_vs_dht(c: &mut Criterion) {
+    let rows: Vec<Vec<u64>> = synthtrace::HostGenerator::new(9)
+        .take(5_000)
+        .map(|h| h.to_values())
+        .collect();
+    let space = synthtrace::fit_space(&rows, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+
+    let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), 11);
+    sim.populate(&Placement::Trace(rows.clone()), rows.len());
+    sim.wire_oracle();
+
+    let ring = Ring::new((0..rows.len() as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+    let attr_max: Vec<u64> = (0..16).map(|k| rows.iter().map(|r| r[k]).max().unwrap().max(1)).collect();
+    let mut index = SwordIndex::build(ring, &rows, &attr_max);
+    let starts: Vec<u64> = index.ring().nodes().to_vec();
+
+    let mut g = c.benchmark_group("selection_vs_dht_5k_boinc");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("autosel_sigma50", |b| {
+        b.iter(|| {
+            let q = random_query(&space, 0.125, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, Some(50));
+            sim.run_to_quiescence();
+            sim.forget_query(qid);
+        })
+    });
+    g.bench_function("sword_sigma50", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = random_query(&space, 0.125, &mut rng);
+            let filters: Vec<(u64, u64)> = q.ranges().iter().map(|r| (r.lo, r.hi)).collect();
+            let dim = q
+                .region()
+                .intervals()
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(lo, hi))| hi - lo)
+                .map(|(k, _)| k)
+                .unwrap();
+            i += 1;
+            black_box(index.range_query(
+                starts[i % starts.len()],
+                dim,
+                filters[dim],
+                &filters,
+                Some(50),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use autosel_core::{Message, QueryId, QueryMsg};
+    use autosel_net::{wire, NetMessage};
+    let space = Space::uniform(16, 80, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let msg = NetMessage::Protocol(Message::Query(QueryMsg {
+        id: QueryId { origin: 42, seq: 7 },
+        query: random_query(&space, 0.125, &mut rng),
+        sigma: Some(50),
+        level: 3,
+        dims: 0xFFFF,
+        dynamic: Vec::new(),
+        count_only: false,
+        visited_zero: Vec::new(),
+    }));
+    let encoded = wire::encode(&msg);
+    c.bench_function("wire_encode_query_d16", |b| b.iter(|| black_box(wire::encode(&msg))));
+    c.bench_function("wire_decode_query_d16", |b| {
+        b.iter(|| black_box(wire::decode(&space, encoded.clone()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cell_algebra,
+    bench_query_matching,
+    bench_gossip_round,
+    bench_oracle_wiring,
+    bench_query_end_to_end,
+    bench_vs_dht,
+    bench_wire_codec,
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Ablation** (DESIGN.md §6) — the two §4.1 design decisions, quantified:
+//! nested-cell depth-first routing vs. (a) the naive per-dimension greedy
+//! neighbor design the paper rejects and (b) Zorilla-style flooding (§2).
+
+use attrspace::Space;
+use overlay_sim::ablation::{flood_search, greedy_coordinate_search};
+use overlay_sim::workload::random_query;
+use overlay_sim::{Placement, SimCluster, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = bench::scaled(10_000);
+    bench::print_table1(n);
+    println!("# Ablation: nested cells vs. greedy coordinate routing vs. flooding");
+    println!("# {n} nodes, f = 0.125, 20 queries, sigma = inf");
+
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut rng = StdRng::seed_from_u64(77);
+
+    let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), 5);
+    sim.populate(&placement, n);
+    sim.wire_oracle();
+    let points: Vec<attrspace::Point> = sim
+        .node_ids()
+        .iter()
+        .map(|&id| sim.point_of(id).expect("alive").clone())
+        .collect();
+
+    let (mut our_msgs, mut our_over, mut our_del) = (0u64, 0u64, 0.0);
+    let (mut gr_msgs, mut gr_over, mut gr_del) = (0u64, 0u64, 0.0);
+    let (mut fl_msgs, mut fl_over, mut fl_del) = (0u64, 0u64, 0.0);
+    let queries = 20;
+    for i in 0..queries {
+        let q = random_query(&space, 0.125, &mut rng);
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q.clone(), None);
+        sim.run_to_quiescence();
+        let st = sim.query_stats(qid).expect("stats");
+        our_msgs += st.messages;
+        our_over += st.overhead;
+        our_del += st.delivery();
+        sim.forget_query(qid);
+
+        let g = greedy_coordinate_search(&space, &points, &q, (i * 97) % n);
+        gr_msgs += g.messages;
+        gr_over += g.overhead;
+        gr_del += g.delivery();
+
+        let f = flood_search(&points, &q, 6, (i * 131) % n, 1000 + i as u64);
+        fl_msgs += f.messages;
+        fl_over += f.overhead;
+        fl_del += f.delivery();
+    }
+    let q = queries as f64;
+    println!("{:>22}  {:>12}  {:>12}  {:>9}", "approach", "msgs/query", "overhead", "delivery");
+    println!("{:>22}  {:>12.0}  {:>12.0}  {:>9.3}", "nested cells (ours)", our_msgs as f64 / q, our_over as f64 / q, our_del / q);
+    println!("{:>22}  {:>12.0}  {:>12.0}  {:>9.3}", "greedy coordinates", gr_msgs as f64 / q, gr_over as f64 / q, gr_del / q);
+    println!("{:>22}  {:>12.0}  {:>12.0}  {:>9.3}", "flooding (Zorilla)", fl_msgs as f64 / q, fl_over as f64 / q, fl_del / q);
+}

@@ -1,0 +1,19 @@
+//! **Figure 6** — routing overhead vs. network size (PeerSim).
+//!
+//! Paper: overhead stays below ~3 messages per query, grows roughly
+//! logarithmically to 10 000 nodes, then *decreases* for larger networks
+//! because σ = 50 is satisfied earlier in dense populations.
+
+use bench::experiments::fig06;
+use bench::{print_table1, scaled};
+
+fn main() {
+    let sizes: Vec<usize> = [100, 1_000, 10_000, 100_000]
+        .iter()
+        .map(|&n: &usize| if n <= 1_000 { n } else { scaled(n) })
+        .collect();
+    print_table1(*sizes.last().unwrap());
+    println!("# Figure 6: routing overhead vs. network size (f=0.125, sigma=50)");
+    let rows = fig06(&sizes, 60, 6);
+    bench::table::print_series("N", "overhead", &rows.iter().map(|&(n, o)| (n, format!("{o:.2}"))).collect::<Vec<_>>());
+}

@@ -1,0 +1,27 @@
+//! **Figure 7** — routing overhead vs. query selectivity, best-case vs.
+//! worst-case query shapes (PeerSim series and a DAS-sized series).
+//!
+//! Paper: best-case stays negligible at every selectivity; worst-case peaks
+//! in the hundreds around f = 0.125 with σ = ∞ and falls as f grows;
+//! σ = 50 keeps worst-case overhead low everywhere; the worst-case curve is
+//! nearly identical at 100 000 and 1 000 nodes (topology-, not
+//! size-dependent).
+
+use bench::experiments::fig07;
+use bench::{print_table1, scaled};
+
+fn main() {
+    let fs = [0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0];
+    for (label, n, queries) in [("PeerSim", scaled(100_000), 12), ("DAS", 1_000, 20)] {
+        print_table1(n);
+        println!("# Figure 7 ({label}, N={n}): overhead vs. selectivity");
+        println!("{:>10}  {:>14}  {:>15}  {:>14}", "f", "best(sigma=inf)", "worst(sigma=inf)", "worst(sigma=50)");
+        for row in fig07(n, &fs, queries, 7) {
+            println!(
+                "{:>10.6}  {:>14.2}  {:>15.2}  {:>14.2}",
+                row.f, row.best_unbounded, row.worst_unbounded, row.worst_sigma50
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! **Figure 9** — query-load distribution across nodes.
+//!
+//! (a) uniform vs. normal-hotspot placement: no node is significantly more
+//!     loaded than the rest under either (the gossip-randomized neighbor
+//!     choice spreads links even in dense regions).
+//! (b) ours vs. a SWORD-style DHT on skewed 16-attribute BOINC hosts:
+//!     delegation produces a heavy tail (few registry nodes serve most
+//!     queries, many serve none); self-representation stays balanced.
+
+use bench::experiments::{fig09a_series, fig09b};
+use bench::{print_table1, scaled};
+use overlay_sim::Placement;
+
+fn main() {
+    let n = scaled(10_000);
+    print_table1(n);
+
+    println!("# Figure 9(a): % of nodes per message-load decile (N={n}, 2000 queries)");
+    let (uni, umax) = fig09a_series(n, &Placement::Uniform { lo: 0, hi: 80 }, 2_000, 9);
+    let (nor, nmax) = fig09a_series(
+        n,
+        &Placement::Normal { center: 60.0, stddev: 10.0, max: 80 },
+        2_000,
+        10,
+    );
+    println!("{:>12}  {:>8}  {:>8}", "load decile", "uniform", "normal");
+    for i in 0..10 {
+        println!("{:>9}-{:>2}%  {:>7.1}%  {:>7.1}%", i * 10 + 1, (i + 1) * 10, uni[i], nor[i]);
+    }
+    println!("(max messages/node: uniform {umax}, normal {nmax})\n");
+
+    let hosts = scaled(10_000);
+    println!("# Figure 9(b): ours vs. SWORD/DHT, d=16 BOINC attributes, {hosts} hosts, 50 queries");
+    let r = fig09b(hosts, 50, 11);
+    println!("{:>12}  {:>8}  {:>8}", "load decile", "ours", "DHT");
+    println!("{:>12}  {:>7.1}%  {:>7.1}%", "idle (0)", r.ours_idle, r.dht_idle);
+    for i in 0..10 {
+        println!(
+            "{:>9}-{:>2}%  {:>7.1}%  {:>7.1}%",
+            i * 10 + 1,
+            (i + 1) * 10,
+            r.ours[i],
+            r.dht[i]
+        );
+    }
+    println!(
+        "imbalance (max/mean): ours {:.1}x, DHT {:.1}x",
+        r.ours_imbalance, r.dht_imbalance
+    );
+}

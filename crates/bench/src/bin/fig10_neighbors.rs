@@ -1,0 +1,29 @@
+//! **Figure 10** — links maintained per node.
+//!
+//! (a) mean links vs. dimensions: virtually constant (most subcells are
+//!     empty, so the d·max(l) slots stay mostly vacant);
+//! (b) distribution of link counts under uniform vs. normal placement:
+//!     everything under ~20–30 links, the hotspot costing slightly more
+//!     (bigger neighborsZero sets near the dense region).
+
+use bench::experiments::{fig10a, fig10b};
+use bench::{print_table1, scaled};
+
+fn main() {
+    let n = scaled(100_000);
+    print_table1(n);
+    println!("# Figure 10(a): mean links per node vs. dimensions (N={n})");
+    let rows = fig10a(n, &[2, 4, 6, 8, 10, 12, 14, 16, 18, 20], 12);
+    bench::table::print_series(
+        "d",
+        "links/node",
+        &rows.iter().map(|&(d, l)| (d, format!("{l:.2}"))).collect::<Vec<_>>(),
+    );
+
+    println!("\n# Figure 10(b): distribution of links per node (N={n})");
+    let (labels, uni, nor) = fig10b(n, 13);
+    println!("{:>8}  {:>8}  {:>8}", "links", "uniform", "normal");
+    for i in 0..labels.len() {
+        println!("{:>8}  {:>7.1}%  {:>7.1}%", labels[i], uni[i], nor[i]);
+    }
+}

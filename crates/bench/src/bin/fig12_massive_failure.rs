@@ -1,0 +1,25 @@
+//! **Figure 12** — delivery around a massive simultaneous failure (50% and
+//! 90% of all nodes at once).
+//!
+//! Paper: after 50% the system recovers fully in ~15 minutes of gossip; 
+//! after 90% the overlay partitions and full delivery is never restored.
+
+use bench::experiments::fig12;
+use bench::{print_table1, scaled};
+
+fn main() {
+    let n = scaled(20_000);
+    print_table1(n);
+    for fraction in [0.5f64, 0.9] {
+        println!(
+            "# Figure 12: delivery vs. time, {:.0}% simultaneous failure at t=300s (N={n})",
+            fraction * 100.0
+        );
+        let rows = fig12(n, fraction, 2_400, 33);
+        println!("{:>8}  {:>8}", "t(s)", "delivery");
+        for (t, d) in &rows {
+            println!("{t:>8}  {d:>8.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,448 @@
+//! The per-figure experiment runners. Each returns plain rows; the figure
+//! binaries print them, `reproduce` writes them to CSV.
+
+use attrspace::{Query, Space};
+use dht_baseline::{Ring, SwordIndex};
+use overlay_sim::workload::{best_case_query, worst_case_query};
+use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synthtrace::{fit_space, HostGenerator};
+
+/// Default query selectivity (Table 1).
+pub const DEFAULT_F: f64 = 0.125;
+/// Default σ (Table 1).
+pub const DEFAULT_SIGMA: u32 = 50;
+
+fn static_cluster(space: &Space, placement: &Placement, n: usize, seed: u64) -> SimCluster {
+    let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), seed);
+    sim.populate(placement, n);
+    sim.wire_oracle();
+    sim
+}
+
+/// Mean routing overhead of `queries` random-shape queries (selectivity `f`,
+/// threshold `sigma`) issued from random origins of `sim`.
+pub fn mean_overhead(
+    sim: &mut SimCluster,
+    f: f64,
+    sigma: Option<u32>,
+    queries: usize,
+    rng: &mut StdRng,
+    shape: QueryShape,
+) -> f64 {
+    let space = sim.space().clone();
+    let mut total = 0u64;
+    for _ in 0..queries {
+        let q = match shape {
+            QueryShape::Aligned | QueryShape::Best => best_case_query(&space, f, rng),
+            QueryShape::Worst => worst_case_query(&space, f),
+        };
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q, sigma);
+        sim.run_to_quiescence();
+        let st = sim.query_stats(qid).expect("stats");
+        assert_eq!(st.duplicates, 0, "§6: never a duplicate receipt");
+        assert!(
+            sigma.is_some() || st.delivery() == 1.0,
+            "§6: 100% delivery without churn"
+        );
+        total += st.overhead;
+        sim.forget_query(qid);
+    }
+    total as f64 / queries as f64
+}
+
+/// Query shapes of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// Cell-aligned dyadic box — the paper's default query generator
+    /// (footnote 2: queries are forced to respect cell boundaries, which is
+    /// the only way Fig. 6's sub-3-message overheads are reachable).
+    Aligned,
+    /// Alias of [`QueryShape::Aligned`] used by the Fig. 7 best-case series.
+    Best,
+    /// Worst case: straddles every top-level boundary.
+    Worst,
+}
+
+/// **Figure 6** — routing overhead vs. network size (σ = 50, f = 0.125).
+pub fn fig06(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<(usize, f64)> {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut sim = static_cluster(&space, &placement, n, seed ^ n as u64);
+            let oh = mean_overhead(
+                &mut sim,
+                DEFAULT_F,
+                Some(DEFAULT_SIGMA),
+                queries_per_size,
+                &mut rng,
+                QueryShape::Best,
+            );
+            (n, oh)
+        })
+        .collect()
+}
+
+/// One row of **Figure 7** — overhead vs. selectivity.
+#[derive(Debug, Clone)]
+pub struct Fig07Row {
+    /// Query selectivity `f`.
+    pub f: f64,
+    /// Best-case queries, σ = ∞.
+    pub best_unbounded: f64,
+    /// Worst-case queries, σ = ∞.
+    pub worst_unbounded: f64,
+    /// Worst-case queries, σ = 50.
+    pub worst_sigma50: f64,
+}
+
+/// **Figure 7** — routing overhead vs. selectivity for best-case and
+/// worst-case query shapes (one call per population size: PeerSim / DAS).
+pub fn fig07(n: usize, fs: &[f64], queries_per_point: usize, seed: u64) -> Vec<Fig07Row> {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut sim = static_cluster(&space, &placement, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    fs.iter()
+        .map(|&f| Fig07Row {
+            f,
+            best_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Best),
+            worst_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Worst),
+            worst_sigma50: mean_overhead(
+                &mut sim,
+                f,
+                Some(DEFAULT_SIGMA),
+                queries_per_point,
+                &mut rng,
+                QueryShape::Worst,
+            ),
+        })
+        .collect()
+}
+
+/// **Figure 8** — routing overhead vs. number of dimensions (σ = 50).
+pub fn fig08(n: usize, dims: &[usize], queries_per_point: usize, seed: u64) -> Vec<(usize, f64)> {
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    dims.iter()
+        .map(|&d| {
+            let space = Space::uniform(d, 80, 3).expect("space");
+            let mut sim = static_cluster(&space, &placement, n, seed ^ d as u64);
+            let oh = mean_overhead(
+                &mut sim,
+                DEFAULT_F,
+                Some(DEFAULT_SIGMA),
+                queries_per_point,
+                &mut rng,
+                QueryShape::Best,
+            );
+            (d, oh)
+        })
+        .collect()
+}
+
+/// Load distribution (messages dispatched per node) after `queries` σ=50
+/// queries under a placement — one series of **Figure 9(a)**.
+///
+/// Returns `(deciles of percent-of-max, max load)`: deciles\[i\] = % of nodes
+/// whose message count falls in ((i·10)%, (i+1)·10%] of the maximum.
+pub fn fig09a_series(
+    n: usize,
+    placement: &Placement,
+    queries: usize,
+    seed: u64,
+) -> (Vec<f64>, u64) {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let mut sim = static_cluster(&space, placement, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.reset_load();
+    for _ in 0..queries {
+        let q = best_case_query(&space, DEFAULT_F, &mut rng);
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q, Some(DEFAULT_SIGMA));
+        sim.run_to_quiescence();
+        sim.forget_query(qid);
+    }
+    let hist = sim.load_histogram();
+    (hist.percent_of_max_deciles(), hist.max())
+}
+
+/// Result of the **Figure 9(b)** comparison on skewed BOINC attributes.
+#[derive(Debug, Clone)]
+pub struct Fig09bResult {
+    /// % of nodes per percent-of-max decile, our protocol.
+    pub ours: Vec<f64>,
+    /// Same for the SWORD/DHT baseline.
+    pub dht: Vec<f64>,
+    /// % of DHT nodes that served zero messages.
+    pub dht_idle: f64,
+    /// % of our nodes that dispatched zero messages.
+    pub ours_idle: f64,
+    /// Max/mean load ratio, ours.
+    pub ours_imbalance: f64,
+    /// Max/mean load ratio, DHT.
+    pub dht_imbalance: f64,
+}
+
+/// **Figure 9(b)** — load: our protocol vs. a SWORD-style DHT, 16-d BOINC
+/// attributes, 50 queries with f = 0.125 and σ = 50 (§6.4).
+pub fn fig09b(hosts: usize, queries: usize, seed: u64) -> Fig09bResult {
+    let rows: Vec<Vec<u64>> = HostGenerator::new(seed).take(hosts).map(|h| h.to_values()).collect();
+    let space = fit_space(&rows, 3).expect("fit space");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF19B);
+
+    // Generate the 50 query predicates once, shared by both systems.
+    let queries_set: Vec<Query> = (0..queries)
+        .map(|_| best_case_query(&space, DEFAULT_F, &mut rng))
+        .collect();
+
+    // Ours.
+    let mut sim = static_cluster(&space, &Placement::Trace(rows.clone()), rows.len(), seed);
+    sim.reset_load();
+    for q in &queries_set {
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q.clone(), Some(DEFAULT_SIGMA));
+        sim.run_to_quiescence();
+        sim.forget_query(qid);
+    }
+    let ours_hist = sim.load_histogram();
+
+    // DHT baseline: same resources, same predicates. Each query walks the
+    // most selective attribute's key range, filtering on the rest.
+    let ring = Ring::new(
+        (0..rows.len() as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect(),
+    );
+    let attr_max: Vec<u64> = (0..16)
+        .map(|k| rows.iter().map(|r| r[k]).max().unwrap_or(1).max(1))
+        .collect();
+    let mut index = SwordIndex::build(ring, &rows, &attr_max);
+    let starts: Vec<u64> = index.ring().nodes().to_vec();
+    for (i, q) in queries_set.iter().enumerate() {
+        let filters: Vec<(u64, u64)> = q.ranges().iter().map(|r| (r.lo, r.hi)).collect();
+        // Most selective attribute: smallest bucket extent.
+        let dim = q
+            .region()
+            .intervals()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(lo, hi))| hi - lo)
+            .map(|(k, _)| k)
+            .expect("16 dims");
+        let range = filters[dim];
+        let start = starts[(i * 31) % starts.len()];
+        let _ = index.range_query(start, dim, range, &filters, Some(DEFAULT_SIGMA));
+    }
+    let dht_hist = overlay_sim::LoadHistogram::new(index.load_per_node());
+
+    let idle = |h: &overlay_sim::LoadHistogram| {
+        100.0 * h.values().iter().filter(|&&v| v == 0).count() as f64 / h.len().max(1) as f64
+    };
+    Fig09bResult {
+        ours: ours_hist.percent_of_max_deciles(),
+        dht: dht_hist.percent_of_max_deciles(),
+        ours_idle: idle(&ours_hist),
+        dht_idle: idle(&dht_hist),
+        ours_imbalance: ours_hist.max() as f64 / ours_hist.mean().max(1e-9),
+        dht_imbalance: dht_hist.max() as f64 / dht_hist.mean().max(1e-9),
+    }
+}
+
+/// **Figure 10(a)** — mean links per node vs. dimensions (oracle-converged,
+/// i.e. the gossip fixed point).
+pub fn fig10a(n: usize, dims: &[usize], seed: u64) -> Vec<(usize, f64)> {
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    dims.iter()
+        .map(|&d| {
+            let space = Space::uniform(d, 80, 3).expect("space");
+            let sim = static_cluster(&space, &placement, n, seed ^ (d as u64) << 8);
+            (d, sim.link_histogram_cache_bounded(20).mean())
+        })
+        .collect()
+}
+
+/// **Figure 10(b)** — distribution of per-node link counts, uniform vs.
+/// normal placement. Returns `(bin labels, % uniform, % normal)` with
+/// 3-link-wide bins as in the paper.
+pub fn fig10b(n: usize, seed: u64) -> (Vec<String>, Vec<f64>, Vec<f64>) {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let uni = static_cluster(&space, &Placement::Uniform { lo: 0, hi: 80 }, n, seed);
+    let nor = static_cluster(
+        &space,
+        &Placement::Normal { center: 60.0, stddev: 10.0, max: 80 },
+        n,
+        seed ^ 1,
+    );
+    let bins = 10usize;
+    let width = 3u64;
+    let labels = (0..bins)
+        .map(|i| {
+            if i + 1 == bins {
+                format!("{}+", i as u64 * width)
+            } else {
+                format!("{}-{}", i as u64 * width, (i as u64 + 1) * width - 1)
+            }
+        })
+        .collect();
+    (
+        labels,
+        uni.link_histogram_cache_bounded(20).percent_per_bin(bins, width),
+        nor.link_histogram_cache_bounded(20).percent_per_bin(bins, width),
+    )
+}
+
+/// Dynamic-experiment configuration shared by Figs. 11–13.
+fn dynamic_config() -> SimConfig {
+    let mut cfg = SimConfig {
+        latency: LatencyModel::Constant { ms: 5 },
+        ..SimConfig::default()
+    };
+    cfg.gossip.period_ms = 10_000;
+    // §6.6: "if a query cannot be propagated due to a broken link, the
+    // message is dropped". On a real transport a dead endpoint fails fast,
+    // so the sender *skips* the broken branch and continues (see
+    // `SimConfig::fail_fast_dead_links`); the lost subtree is never retried.
+    // T(q) stays as a long backstop for the rare peer that dies *after*
+    // accepting the query.
+    cfg.protocol.query_timeout_ms = 30_000;
+    cfg
+}
+
+/// **Figure 11** — delivery over time under churn of `rate` (fraction per
+/// 10 s). One probe query (σ = ∞) is issued every 30 s; each is measured
+/// 120 s after issue. Returns `(time s, delivery)` rows over `horizon_s`.
+pub fn fig11(n: usize, rate: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f64)> {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut sim = SimCluster::new(space.clone(), dynamic_config(), seed);
+    sim.populate(&placement, n);
+    // Warm-up: build routing tables by gossip (25 rounds), then start the
+    // measured window at t = 0 of the figure.
+    sim.run_until(250_000);
+    let t0 = sim.now();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut open: Vec<(u64, autosel_core::QueryId)> = Vec::new();
+    let mut t = 0u64;
+    while t < horizon_s * 1000 {
+        // Churn every 10 s.
+        if t.is_multiple_of(10_000) {
+            sim.churn_step(rate, &placement);
+        }
+        // Query every 30 s.
+        if t.is_multiple_of(30_000) {
+            let q = best_case_query(&space, DEFAULT_F, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, None);
+            open.push((t, qid));
+        }
+        // Harvest queries 120 s old.
+        open.retain(|&(issued, qid)| {
+            if t >= issued + 120_000 {
+                let d = sim.query_stats(qid).expect("stats").delivery();
+                out.push((issued / 1000, d));
+                sim.forget_query(qid);
+                false
+            } else {
+                true
+            }
+        });
+        t += 10_000;
+        sim.run_until(t0 + t);
+    }
+    for (issued, qid) in open {
+        let d = sim.query_stats(qid).expect("stats").delivery();
+        out.push((issued / 1000, d));
+        sim.forget_query(qid);
+    }
+    out.sort_unstable_by_key(|&(t, _)| t);
+    out
+}
+
+/// **Figure 12** — delivery over time around a massive simultaneous failure
+/// of `fraction` at `t = fail_at_s`. Probes every 30 s, measured 120 s after
+/// issue (σ = ∞, no special recovery measures, exactly §6.7).
+pub fn fig12(n: usize, fraction: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f64)> {
+    let fail_at_s = 300u64;
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut sim = SimCluster::new(space.clone(), dynamic_config(), seed);
+    sim.populate(&placement, n);
+    sim.run_until(250_000);
+    let t0 = sim.now();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut open: Vec<(u64, autosel_core::QueryId)> = Vec::new();
+    let mut failed = false;
+    let mut t = 0u64;
+    while t < horizon_s * 1000 {
+        if !failed && t >= fail_at_s * 1000 {
+            sim.kill_fraction(fraction);
+            failed = true;
+        }
+        if t.is_multiple_of(30_000) {
+            let q = best_case_query(&space, DEFAULT_F, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, None);
+            open.push((t, qid));
+        }
+        open.retain(|&(issued, qid)| {
+            if t >= issued + 120_000 {
+                let d = sim.query_stats(qid).expect("stats").delivery();
+                out.push((issued / 1000, d));
+                sim.forget_query(qid);
+                false
+            } else {
+                true
+            }
+        });
+        t += 10_000;
+        sim.run_until(t0 + t);
+    }
+    for (issued, qid) in open {
+        out.push((issued / 1000, sim.query_stats(qid).expect("stats").delivery()));
+        sim.forget_query(qid);
+    }
+    out.sort_unstable_by_key(|&(t, _)| t);
+    out
+}
+
+/// **Figure 13** — PlanetLab-style repeated decimation *in the simulator*:
+/// 10% of the network is killed every `wave_interval_s` without replacement.
+/// Returns `(time s, delivery)` probes. (The live tokio rendition is in
+/// `fig13_planetlab.rs`, which drives `autosel-net`.)
+pub fn fig13_sim(n: usize, waves: usize, wave_interval_s: u64, seed: u64) -> Vec<(u64, f64)> {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+    let mut sim = SimCluster::new(space.clone(), dynamic_config(), seed);
+    sim.populate(&placement, n);
+    sim.run_until(250_000);
+    let t0 = sim.now();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    for _ in 0..waves {
+        sim.kill_fraction(0.10);
+        let wave_end = t + wave_interval_s * 1000;
+        while t < wave_end {
+            let q = best_case_query(&space, DEFAULT_F, &mut rng);
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, q, None);
+            sim.run_until(t0 + t + 120_000);
+            out.push((t / 1000, sim.query_stats(qid).expect("stats").delivery()));
+            sim.forget_query(qid);
+            t += 120_000;
+            sim.run_until(t0 + t);
+        }
+    }
+    out
+}

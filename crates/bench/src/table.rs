@@ -1,0 +1,54 @@
+//! Tiny text-table / CSV helpers shared by the figure binaries.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints a two-column series with a header.
+pub fn print_series<X: Display, Y: Display>(x_name: &str, y_name: &str, rows: &[(X, Y)]) {
+    println!("{x_name:>12}  {y_name}");
+    for (x, y) in rows {
+        println!("{x:>12}  {y}");
+    }
+}
+
+/// Writes rows as CSV under `results/` (creating the directory), returning
+/// the path written.
+///
+/// # Errors
+///
+/// I/O errors creating or writing the file.
+pub fn write_csv(
+    name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_written_and_readable() {
+        let dir = std::env::temp_dir().join("autosel_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let p = write_csv("t", "a,b", vec!["1,2".into(), "3,4".into()]).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+    }
+}

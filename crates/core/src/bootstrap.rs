@@ -1,0 +1,150 @@
+//! Oracle wiring of routing tables from global knowledge — the paper's
+//! converged-state experimental setup (§6), used by the simulator and tests.
+
+use std::collections::HashMap;
+
+use attrspace::{BucketIndex, Level};
+use epigossip::NodeId;
+use rand::Rng;
+
+use crate::{NeighborEntry, SelectionNode};
+
+/// Wires every node's routing table from global knowledge, as if the gossip
+/// layers had fully converged — the paper's experimental setup ("we first
+/// randomly populate the space … and give them sufficient time to build
+/// their routing tables", §6).
+///
+/// `neighborsZero` becomes *all* same-`C0` nodes; each `(l,k)` slot gets a
+/// node chosen uniformly at random from the occupants of `N(l,k)` (the same
+/// independent randomness the gossip selection provides, which is what
+/// spreads query load in §6.4).
+///
+/// Runs in `O(N · d · max(l))` using mixed-granularity prefix indexes, so it
+/// scales to the paper's 100 000-node populations.
+pub fn wire_perfect<R: Rng + ?Sized>(nodes: &mut [SelectionNode], rng: &mut R) {
+    if nodes.is_empty() {
+        return;
+    }
+    let space = nodes[0].space().clone();
+    let d = space.dims();
+    let max_level = space.max_level();
+
+    let entries: Vec<NeighborEntry> = nodes
+        .iter()
+        .map(|n| NeighborEntry { id: n.id(), point: n.point().clone(), coord: n.coord().clone() })
+        .collect();
+
+    // C0 groups: full-coordinate key.
+    let mut zero_groups: HashMap<Vec<BucketIndex>, Vec<usize>> = HashMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        zero_groups.entry(e.coord.indices().to_vec()).or_default().push(i);
+    }
+
+    // Per (level, dim): nodes keyed by the mixed-granularity prefix that
+    // determines membership of somebody's N(level, dim). A node Y belongs to
+    // N(l,k)(X) iff
+    //   Y_j >> (l-1) == X_j >> (l-1)        for j <  k
+    //   Y_k >> (l-1) == (X_k >> (l-1)) ^ 1  for j == k
+    //   Y_j >> l     == X_j >> l            for j >  k
+    let key = |coord: &[BucketIndex], level: Level, dim: usize| -> Vec<BucketIndex> {
+        (0..d)
+            .map(|j| {
+                if j <= dim {
+                    coord[j] >> (level - 1)
+                } else {
+                    coord[j] >> level
+                }
+            })
+            .collect()
+    };
+    let mut slot_groups: Vec<HashMap<Vec<BucketIndex>, Vec<usize>>> =
+        vec![HashMap::new(); d * max_level as usize];
+    for (i, e) in entries.iter().enumerate() {
+        for level in 1..=max_level {
+            for dim in 0..d {
+                let k = key(e.coord.indices(), level, dim);
+                slot_groups[(level as usize - 1) * d + dim].entry(k).or_default().push(i);
+            }
+        }
+    }
+
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let own = entries[i].coord.indices().to_vec();
+        let table = node.routing_mut();
+        table.clear();
+        if let Some(mates) = zero_groups.get(&own) {
+            for &m in mates {
+                if m != i {
+                    table.insert_zero(entries[m].clone());
+                }
+            }
+        }
+        for level in 1..=max_level {
+            for dim in 0..d {
+                let mut k = key(&own, level, dim);
+                k[dim] ^= 1; // flip our half along `dim`
+                if let Some(cands) = slot_groups[(level as usize - 1) * d + dim].get(&k) {
+                    if !cands.is_empty() {
+                        let pick = cands[rng.gen_range(0..cands.len())];
+                        table.set_neighbor(level, dim, entries[pick].clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: all node ids whose attribute values satisfy `query` — the
+/// ground truth the experiments compare deliveries against.
+pub fn ground_truth(nodes: &[SelectionNode], query: &attrspace::Query) -> Vec<NodeId> {
+    nodes
+        .iter()
+        .filter(|n| query.matches(n.point()))
+        .map(|n| n.id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolConfig;
+    use attrspace::Space;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wiring_matches_brute_force_classification() {
+        let space = Space::uniform(3, 80, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut nodes: Vec<SelectionNode> = (0..200)
+            .map(|i| {
+                let vals: Vec<u64> = (0..3).map(|_| rng.gen_range(0..80)).collect();
+                SelectionNode::new(i, &space, space.point(&vals).unwrap(), ProtocolConfig::default())
+            })
+            .collect();
+        wire_perfect(&mut nodes, &mut rng);
+
+        // Brute-force check on a sample of nodes: every filled slot's entry
+        // really lies in N(l,k), every same-C0 node is a zero neighbor, and
+        // slots are empty only when the subcell truly is.
+        let coords: Vec<_> = nodes.iter().map(|n| n.coord().clone()).collect();
+        for i in (0..nodes.len()).step_by(17) {
+            let me = &coords[i];
+            for level in 1..=2u8 {
+                for dim in 0..3usize {
+                    let region = me.neighboring_cell(level, dim);
+                    let occupant = nodes[i].routing().neighbor(level, dim);
+                    let exists = coords.iter().any(|c| region.contains(c));
+                    assert_eq!(occupant.is_some(), exists, "node {i} slot ({level},{dim})");
+                    if let Some(e) = occupant {
+                        assert!(region.contains(&e.coord));
+                    }
+                }
+            }
+            let mates: Vec<NodeId> = (0..nodes.len() as u64)
+                .filter(|&j| j != i as u64 && coords[j as usize].same_cell(me, 0))
+                .collect();
+            assert_eq!(nodes[i].routing().zero_count(), mates.len());
+        }
+    }
+}

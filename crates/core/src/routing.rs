@@ -1,0 +1,290 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use attrspace::{CellCoord, Level, Neighborhood, Point, Space};
+use epigossip::NodeId;
+use rand::Rng;
+
+/// A routing-table entry: a peer plus the attribute values it advertised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborEntry {
+    /// The peer's id.
+    pub id: NodeId,
+    /// The peer's advertised attribute values.
+    pub point: Point,
+    /// The peer's bucket coordinate.
+    pub coord: CellCoord,
+}
+
+/// The per-node routing state of §4.1: one selected neighbor `n(l,k)` per
+/// neighboring subcell `N(l,k)` (empty slots mean no known node in that
+/// subcell) plus the `neighborsZero` set of all known same-`C0` nodes.
+///
+/// The number of slots is `d × max(l)` — linear in the number of dimensions,
+/// which is the property that lets the protocol scale to high-dimensional
+/// attribute spaces where CAN/Voronoi-style partitioning explodes.
+pub struct RoutingTable {
+    space: Space,
+    own: CellCoord,
+    /// Slot `(level-1) * d + dim` holds the chosen neighbor in `N(level,dim)`.
+    slots: Vec<Option<NeighborEntry>>,
+    /// All known nodes of this node's own `C0` cell, ordered for determinism.
+    zero: BTreeMap<NodeId, NeighborEntry>,
+}
+
+impl fmt::Debug for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutingTable")
+            .field("own", &self.own)
+            .field("links", &self.link_count())
+            .field("zero", &self.zero.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a node at `own` in `space`.
+    pub fn new(space: Space, own: CellCoord) -> Self {
+        let slots = vec![None; space.dims() * space.max_level() as usize];
+        RoutingTable { space, own, slots, zero: BTreeMap::new() }
+    }
+
+    fn slot_index(&self, level: Level, dim: usize) -> usize {
+        debug_assert!(level >= 1 && level <= self.space.max_level());
+        debug_assert!(dim < self.space.dims());
+        (level as usize - 1) * self.space.dims() + dim
+    }
+
+    /// The space this table routes in.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// This node's own coordinate.
+    pub fn own_coord(&self) -> &CellCoord {
+        &self.own
+    }
+
+    /// The chosen neighbor `n(l,k)`, if any node is known in `N(l,k)`.
+    pub fn neighbor(&self, level: Level, dim: usize) -> Option<&NeighborEntry> {
+        self.slots[self.slot_index(level, dim)].as_ref()
+    }
+
+    /// The `neighborsZero` set: all known nodes of this node's `C0` cell.
+    pub fn zero_neighbors(&self) -> impl Iterator<Item = &NeighborEntry> {
+        self.zero.values()
+    }
+
+    /// Number of same-`C0` links.
+    pub fn zero_count(&self) -> usize {
+        self.zero.len()
+    }
+
+    /// Number of non-empty `(l,k)` slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total links maintained (Fig. 10's metric: slot links + `C0` links).
+    pub fn link_count(&self) -> usize {
+        self.slot_count() + self.zero.len()
+    }
+
+    /// Classifies and records a peer: same-`C0` peers join `neighborsZero`;
+    /// others fill their `(l,k)` slot if it is empty. Existing slot holders
+    /// are kept (stability); use [`rebuild`](Self::rebuild) for randomized
+    /// re-selection.
+    pub fn observe(&mut self, id: NodeId, point: Point) {
+        let coord = self.space.cell_coord(&point);
+        let entry = NeighborEntry { id, point, coord };
+        match self.own.classify(&entry.coord) {
+            Neighborhood::Zero => {
+                self.zero.insert(id, entry);
+            }
+            Neighborhood::Cell { level, dim } => {
+                let idx = self.slot_index(level, dim);
+                match &self.slots[idx] {
+                    Some(existing) if existing.id != id => {}
+                    _ => self.slots[idx] = Some(entry),
+                }
+            }
+        }
+    }
+
+    /// Empties the whole table.
+    pub fn clear(&mut self) {
+        self.zero.clear();
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// Directly sets the link for slot `(level, dim)` (oracle bootstrap).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the entry does not lie in `N(level, dim)` of this
+    /// node.
+    pub fn set_neighbor(&mut self, level: Level, dim: usize, entry: NeighborEntry) {
+        debug_assert!(
+            self.own.neighboring_cell(level, dim).contains(&entry.coord),
+            "entry outside N({level},{dim})"
+        );
+        let idx = self.slot_index(level, dim);
+        self.slots[idx] = Some(entry);
+    }
+
+    /// Directly inserts a `neighborsZero` member (oracle bootstrap).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the entry is not in this node's `C0` cell.
+    pub fn insert_zero(&mut self, entry: NeighborEntry) {
+        debug_assert!(entry.coord.same_cell(&self.own, 0), "entry outside C0");
+        self.zero.insert(entry.id, entry);
+    }
+
+    /// Removes a peer everywhere (failure suspicion).
+    pub fn remove(&mut self, id: NodeId) {
+        self.zero.remove(&id);
+        for s in &mut self.slots {
+            if s.as_ref().is_some_and(|e| e.id == id) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Rebuilds the whole table from a candidate set (typically the gossip
+    /// semantic view): `neighborsZero` becomes all same-`C0` candidates, and
+    /// each `(l,k)` slot keeps its current occupant when still offered,
+    /// otherwise picks a *uniformly random* candidate from that subcell —
+    /// the randomness that spreads query load across dense cells (§6.4).
+    pub fn rebuild<R: Rng + ?Sized>(
+        &mut self,
+        candidates: impl IntoIterator<Item = (NodeId, Point)>,
+        rng: &mut R,
+    ) {
+        let mut per_slot: Vec<Vec<NeighborEntry>> = vec![Vec::new(); self.slots.len()];
+        let mut zero = BTreeMap::new();
+        for (id, point) in candidates {
+            let coord = self.space.cell_coord(&point);
+            let entry = NeighborEntry { id, point, coord };
+            match self.own.classify(&entry.coord) {
+                Neighborhood::Zero => {
+                    zero.insert(id, entry);
+                }
+                Neighborhood::Cell { level, dim } => {
+                    per_slot[self.slot_index(level, dim)].push(entry);
+                }
+            }
+        }
+        self.zero = zero;
+        for (slot, cands) in self.slots.iter_mut().zip(per_slot) {
+            if cands.is_empty() {
+                *slot = None;
+                continue;
+            }
+            let keep = slot
+                .as_ref()
+                .is_some_and(|cur| cands.iter().any(|c| c.id == cur.id));
+            if !keep {
+                *slot = Some(cands[rng.gen_range(0..cands.len())].clone());
+            }
+        }
+    }
+
+    /// Iterates over the filled `(level, dim, entry)` slots.
+    pub fn filled_slots(&self) -> impl Iterator<Item = (Level, usize, &NeighborEntry)> {
+        let d = self.space.dims();
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            s.as_ref().map(|e| ((i / d + 1) as Level, i % d, e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> Space {
+        Space::uniform(2, 80, 3).unwrap()
+    }
+
+    fn table_at(vals: [u64; 2]) -> RoutingTable {
+        let s = space();
+        let own = s.cell_coord(&s.point(&vals).unwrap());
+        RoutingTable::new(s, own)
+    }
+
+    #[test]
+    fn observe_routes_to_correct_slot() {
+        // Own coord (1,1) in an 8×8 grid.
+        let mut t = table_at([15, 15]);
+        // Same C0 bucket.
+        t.observe(2, space().point(&[12, 11]).unwrap());
+        assert_eq!(t.zero_count(), 1);
+        // Opposite half along dimension 0 → N(3,0).
+        t.observe(3, space().point(&[75, 15]).unwrap());
+        assert_eq!(t.neighbor(3, 0).unwrap().id, 3);
+        // Same C1, other bucket along dim 1 → N(1,1).
+        t.observe(4, space().point(&[15, 5]).unwrap());
+        assert_eq!(t.neighbor(1, 1).unwrap().id, 4);
+        assert_eq!(t.link_count(), 3);
+    }
+
+    #[test]
+    fn observe_keeps_existing_slot_holder() {
+        let mut t = table_at([15, 15]);
+        t.observe(3, space().point(&[75, 15]).unwrap());
+        t.observe(5, space().point(&[70, 10]).unwrap()); // same subcell N(3,0)
+        assert_eq!(t.neighbor(3, 0).unwrap().id, 3, "first link kept");
+    }
+
+    #[test]
+    fn remove_clears_everywhere() {
+        let mut t = table_at([15, 15]);
+        t.observe(2, space().point(&[12, 11]).unwrap());
+        t.observe(3, space().point(&[75, 15]).unwrap());
+        t.remove(2);
+        t.remove(3);
+        assert_eq!(t.link_count(), 0);
+        assert!(t.neighbor(3, 0).is_none());
+    }
+
+    #[test]
+    fn rebuild_prefers_stability_and_fills_randomly() {
+        let s = space();
+        let mut t = table_at([15, 15]);
+        t.observe(3, s.point(&[75, 15]).unwrap());
+        let mut rng = StdRng::seed_from_u64(9);
+        // Candidates: current holder 3 still present + extra in same subcell.
+        t.rebuild(
+            vec![
+                (3, s.point(&[75, 15]).unwrap()),
+                (5, s.point(&[70, 10]).unwrap()),
+                (6, s.point(&[12, 11]).unwrap()), // C0 mate
+            ],
+            &mut rng,
+        );
+        assert_eq!(t.neighbor(3, 0).unwrap().id, 3, "stability: holder kept");
+        assert_eq!(t.zero_count(), 1);
+        // Holder vanishes from candidates → random replacement.
+        t.rebuild(vec![(5, s.point(&[70, 10]).unwrap())], &mut rng);
+        assert_eq!(t.neighbor(3, 0).unwrap().id, 5);
+        assert_eq!(t.zero_count(), 0, "zero set rebuilt from scratch");
+    }
+
+    #[test]
+    fn filled_slots_reports_level_dim() {
+        let s = space();
+        let mut t = table_at([15, 15]);
+        t.observe(3, s.point(&[75, 15]).unwrap()); // N(3,0)
+        t.observe(4, s.point(&[15, 5]).unwrap()); // N(1,1)
+        let mut got: Vec<(Level, usize, NodeId)> =
+            t.filled_slots().map(|(l, k, e)| (l, k, e.id)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 1, 4), (3, 0, 3)]);
+    }
+}

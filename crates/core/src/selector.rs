@@ -1,0 +1,166 @@
+use std::collections::HashMap;
+
+use attrspace::{Level, Neighborhood};
+use epigossip::{Descriptor, Selector};
+
+use crate::NodeProfile;
+
+/// The [`Selector`] policy that drives the semantic gossip layer for
+/// resource selection (§5): instead of a scalar proximity metric, peers are
+/// ranked by *which routing slot they can fill*.
+///
+/// Priorities, in order:
+/// 1. every known same-`C0` peer (the protocol's correctness at level 0
+///    depends on knowing all of them), up to [`zero_cap`](Self::zero_cap);
+/// 2. one peer per neighboring subcell `(l,k)` (round-robin across slots, so
+///    coverage is broad before it is deep);
+/// 3. additional per-slot spares up to [`per_slot`](Self::per_slot) — these
+///    let the routing table replace a failed link instantly;
+/// 4. youngest leftovers, which keep gossip exchanges informative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSelector {
+    /// Maximum same-`C0` peers retained (priority 1).
+    pub zero_cap: usize,
+    /// Candidates kept per `(l,k)` slot (priorities 2–3).
+    pub per_slot: usize,
+}
+
+impl Default for SlotSelector {
+    fn default() -> Self {
+        SlotSelector { zero_cap: 8, per_slot: 2 }
+    }
+}
+
+impl Selector<NodeProfile> for SlotSelector {
+    fn select(
+        &self,
+        own: &NodeProfile,
+        candidates: Vec<Descriptor<NodeProfile>>,
+        capacity: usize,
+    ) -> Vec<Descriptor<NodeProfile>> {
+        let mut zero: Vec<Descriptor<NodeProfile>> = Vec::new();
+        let mut slots: HashMap<(Level, usize), Vec<Descriptor<NodeProfile>>> = HashMap::new();
+        for d in candidates {
+            match own.coord().classify(d.profile.coord()) {
+                Neighborhood::Zero => zero.push(d),
+                Neighborhood::Cell { level, dim } => {
+                    slots.entry((level, dim)).or_default().push(d);
+                }
+            }
+        }
+        // Youngest first everywhere: fresher descriptors are likelier alive.
+        zero.sort_by_key(|d| (d.age, d.id));
+        for v in slots.values_mut() {
+            v.sort_by_key(|d| (d.age, d.id));
+        }
+        // Deterministic slot order for reproducibility.
+        let mut slot_keys: Vec<(Level, usize)> = slots.keys().copied().collect();
+        slot_keys.sort_unstable();
+
+        let mut kept: Vec<Descriptor<NodeProfile>> = Vec::with_capacity(capacity);
+        let mut leftovers: Vec<Descriptor<NodeProfile>> = Vec::new();
+
+        let zero_take = self.zero_cap.min(capacity).min(zero.len());
+        let mut zero_iter = zero.into_iter();
+        for _ in 0..zero_take {
+            kept.push(zero_iter.next().expect("bounded by len"));
+        }
+        leftovers.extend(zero_iter);
+
+        // Round-robin across slots: rank 0 for every slot, then rank 1, …
+        for rank in 0..self.per_slot {
+            for key in &slot_keys {
+                let v = slots.get_mut(key).expect("known key");
+                if rank < v.len() && kept.len() < capacity {
+                    kept.push(v[rank].clone());
+                }
+            }
+        }
+        for key in &slot_keys {
+            let v = slots.remove(key).expect("known key");
+            leftovers.extend(v.into_iter().skip(self.per_slot));
+        }
+
+        leftovers.sort_by_key(|d| (d.age, d.id));
+        for d in leftovers {
+            if kept.len() >= capacity {
+                break;
+            }
+            kept.push(d);
+        }
+        kept.truncate(capacity);
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrspace::Space;
+    use epigossip::NodeId;
+
+    fn profile(space: &Space, vals: &[u64]) -> NodeProfile {
+        NodeProfile::new(space, space.point(vals).unwrap())
+    }
+
+    fn desc(id: NodeId, space: &Space, vals: &[u64], age: u32) -> Descriptor<NodeProfile> {
+        Descriptor { id, profile: profile(space, vals), age }
+    }
+
+    #[test]
+    fn zero_mates_have_top_priority() {
+        let s = Space::uniform(2, 80, 3).unwrap();
+        let own = profile(&s, &[5, 5]);
+        let sel = SlotSelector { zero_cap: 4, per_slot: 1 };
+        let mut cands = vec![
+            desc(10, &s, &[6, 6], 0),  // C0 mate
+            desc(11, &s, &[7, 3], 1),  // C0 mate
+            desc(20, &s, &[75, 5], 0), // N(3,0)
+            desc(21, &s, &[5, 75], 0), // N(3,1)
+        ];
+        // Tiny capacity: C0 mates win, then slots round-robin.
+        let kept = sel.select(&own, cands.clone(), 3);
+        let ids: Vec<NodeId> = kept.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![10, 11, 20]);
+
+        // per_slot spares respected with more capacity.
+        cands.push(desc(22, &s, &[70, 9], 3)); // also N(3,0), older spare
+        let sel = SlotSelector { zero_cap: 4, per_slot: 2 };
+        let kept = sel.select(&own, cands, 10);
+        let ids: Vec<NodeId> = kept.iter().map(|d| d.id).collect();
+        // zero mates, then rank-0 of each slot (sorted keys: (3,0) before
+        // (3,1)), then rank-1 spares.
+        assert_eq!(ids, vec![10, 11, 20, 21, 22]);
+    }
+
+    #[test]
+    fn broad_before_deep() {
+        let s = Space::uniform(2, 80, 3).unwrap();
+        let own = profile(&s, &[5, 5]);
+        let sel = SlotSelector { zero_cap: 0, per_slot: 3 };
+        let cands = vec![
+            desc(1, &s, &[75, 5], 0),
+            desc(2, &s, &[70, 9], 1),
+            desc(3, &s, &[79, 2], 2),
+            desc(4, &s, &[5, 75], 5), // different slot, old
+        ];
+        let kept = sel.select(&own, cands, 2);
+        let ids: Vec<NodeId> = kept.iter().map(|d| d.id).collect();
+        // One per slot before any spare, despite node 4's age.
+        assert_eq!(ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn zero_cap_bounds_c0_crowd() {
+        let s = Space::uniform(2, 80, 3).unwrap();
+        let own = profile(&s, &[5, 5]);
+        let sel = SlotSelector { zero_cap: 2, per_slot: 1 };
+        let cands: Vec<_> = (0..6).map(|i| desc(i, &s, &[5 + i % 5, 5], i as u32)).collect();
+        let kept = sel.select(&own, cands, 6);
+        // All six are C0 mates, but only zero_cap get priority; the rest are
+        // leftovers and still fill remaining capacity, youngest first.
+        assert_eq!(kept.len(), 6);
+        assert_eq!(kept[0].id, 0);
+        assert_eq!(kept[1].id, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dht-baseline — the delegation-based comparison system
+//!
+//! The paper's Fig. 9(b) compares its self-representation overlay against a
+//! *delegation* design: the Bamboo DHT with SWORD's resource-discovery
+//! scheme ("store a record of the nodes' attributes in the DHT at a key for
+//! each attribute value for each dimension", §6.4). This crate implements
+//! that baseline from scratch:
+//!
+//! * [`Ring`] — a Chord/Bamboo-style key ring: each node owns the key arc
+//!   ending at its id; routing is iterative greedy over finger tables
+//!   (`O(log N)` hops), and every hop is *charged* to the node that serves
+//!   it, which is what the load histogram measures;
+//! * [`SwordIndex`] — the SWORD key scheme: every resource publishes one
+//!   record per attribute at an order-preserving key, and a range query
+//!   routes to the range start then walks successors until the range is
+//!   exhausted or `σ` matches are found, filtering on the other attributes.
+//!
+//! The point of the comparison: with skewed attribute values the SWORD keys
+//! concentrate on few ring arcs, so a handful of registry nodes serve most
+//! of the query traffic — the heavy tail of Fig. 9(b) — while the
+//! autonomous overlay spreads the same workload almost uniformly.
+//!
+//! ```
+//! use dht_baseline::{Ring, SwordIndex};
+//!
+//! let ring = Ring::new((0..64).map(|i| i * 1_000).collect());
+//! let resources = vec![vec![4, 512], vec![2, 256], vec![8, 2048]];
+//! let mut index = SwordIndex::build(ring, &resources, &[16, 65_536]);
+//! let hits = index.range_query(0, 0, (4, u64::MAX), &[(0, u64::MAX); 2], None);
+//! assert_eq!(hits.len(), 2); // resources with ≥ 4 in attribute 0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod ring;
+mod sword;
+
+pub use ring::{Ring, RingNodeId};
+pub use sword::SwordIndex;

@@ -1,0 +1,316 @@
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Descriptor, NodeId};
+
+/// A bounded partial view: at most `capacity` descriptors, at most one per
+/// peer id. This is the data structure underlying both gossip layers.
+#[derive(Debug, Clone)]
+pub struct View<P> {
+    entries: Vec<Descriptor<P>>,
+    index: HashMap<NodeId, usize>,
+    capacity: usize,
+}
+
+impl<P> View<P> {
+    /// Creates an empty view holding at most `capacity` descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        View { entries: Vec::with_capacity(capacity), index: HashMap::new(), capacity }
+    }
+
+    /// Maximum number of descriptors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the view holds a descriptor for `id`.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The descriptor for `id`, if present.
+    pub fn get(&self, id: NodeId) -> Option<&Descriptor<P>> {
+        self.index.get(&id).map(|&i| &self.entries[i])
+    }
+
+    /// Iterates over the descriptors in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Descriptor<P>> {
+        self.entries.iter()
+    }
+
+    /// Increments every descriptor's age by one round.
+    pub fn increase_ages(&mut self) {
+        for d in &mut self.entries {
+            d.age = d.age.saturating_add(1);
+        }
+    }
+
+    /// Inserts or replaces the descriptor for `d.id`. When the view is full
+    /// and `d.id` is new, the *oldest* entry is evicted (age-based healing).
+    /// When replacing, the fresher (lower-age) descriptor wins.
+    pub fn insert(&mut self, d: Descriptor<P>) {
+        if let Some(&i) = self.index.get(&d.id) {
+            if d.age <= self.entries[i].age {
+                self.entries[i] = d;
+            }
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(d.id, self.entries.len());
+            self.entries.push(d);
+            return;
+        }
+        if let Some(i) = self.oldest_index() {
+            if d.age <= self.entries[i].age {
+                self.index.remove(&self.entries[i].id);
+                self.index.insert(d.id, i);
+                self.entries[i] = d;
+            }
+        }
+    }
+
+    /// Removes and returns the descriptor for `id`.
+    pub fn remove(&mut self, id: NodeId) -> Option<Descriptor<P>> {
+        let i = self.index.remove(&id)?;
+        let d = self.entries.swap_remove(i);
+        if i < self.entries.len() {
+            self.index.insert(self.entries[i].id, i);
+        }
+        Some(d)
+    }
+
+    /// The id of the oldest descriptor (CYCLON's shuffle-partner choice).
+    pub fn oldest(&self) -> Option<NodeId> {
+        self.oldest_index().map(|i| self.entries[i].id)
+    }
+
+    fn oldest_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.age)
+            .map(|(i, _)| i)
+    }
+
+    /// All peer ids currently in the view.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|d| d.id).collect()
+    }
+
+    /// A uniformly random descriptor.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Descriptor<P>> {
+        self.entries.choose(rng)
+    }
+}
+
+impl<P: Clone> View<P> {
+    /// Up to `n` distinct random descriptors, optionally excluding one id
+    /// (CYCLON excludes the shuffle partner from the sent subset).
+    pub fn random_subset<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        exclude: Option<NodeId>,
+        rng: &mut R,
+    ) -> Vec<Descriptor<P>> {
+        let mut pool: Vec<&Descriptor<P>> = self
+            .entries
+            .iter()
+            .filter(|d| Some(d.id) != exclude)
+            .collect();
+        pool.shuffle(rng);
+        pool.into_iter().take(n).cloned().collect()
+    }
+
+    /// CYCLON's merge rule: for each received descriptor (skipping our own id
+    /// and known peers, where only a fresher age is kept), fill empty slots
+    /// first, then overwrite slots whose descriptor was just *sent* to the
+    /// peer, and drop the rest.
+    pub fn merge_shuffle(
+        &mut self,
+        received: Vec<Descriptor<P>>,
+        sent: &[NodeId],
+        self_id: NodeId,
+    ) {
+        let mut replaceable: Vec<NodeId> = sent.to_vec();
+        for d in received {
+            if d.id == self_id {
+                continue;
+            }
+            if let Some(&i) = self.index.get(&d.id) {
+                if d.age < self.entries[i].age {
+                    self.entries[i] = d;
+                }
+                continue;
+            }
+            if self.entries.len() < self.capacity {
+                self.index.insert(d.id, self.entries.len());
+                self.entries.push(d);
+                continue;
+            }
+            let mut placed = false;
+            while let Some(victim) = replaceable.pop() {
+                if let Some(&i) = self.index.get(&victim) {
+                    self.index.remove(&victim);
+                    self.index.insert(d.id, i);
+                    self.entries[i] = d.clone();
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // View full and nothing replaceable: drop the descriptor.
+            }
+        }
+    }
+
+    /// All descriptors, cloned (used to pool candidates across layers).
+    pub fn to_vec(&self) -> Vec<Descriptor<P>> {
+        self.entries.clone()
+    }
+
+    /// Drops every descriptor and re-inserts from `entries` (bounded by
+    /// capacity; later duplicates are ignored). Used by selector-driven
+    /// layers after re-ranking.
+    pub fn replace_all(&mut self, entries: Vec<Descriptor<P>>) {
+        self.entries.clear();
+        self.index.clear();
+        for d in entries {
+            if self.entries.len() == self.capacity {
+                break;
+            }
+            if !self.index.contains_key(&d.id) {
+                self.index.insert(d.id, self.entries.len());
+                self.entries.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(id: NodeId, age: u32) -> Descriptor<u8> {
+        Descriptor { id, profile: 0, age }
+    }
+
+    #[test]
+    fn insert_dedupes_by_id_keeping_fresher() {
+        let mut v = View::new(4);
+        v.insert(d(1, 5));
+        v.insert(d(1, 2));
+        assert_eq!(v.get(1).unwrap().age, 2);
+        v.insert(d(1, 9)); // staler: ignored
+        assert_eq!(v.get(1).unwrap().age, 2);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn insert_full_evicts_oldest_if_staler() {
+        let mut v = View::new(2);
+        v.insert(d(1, 5));
+        v.insert(d(2, 1));
+        v.insert(d(3, 0)); // evicts id 1 (oldest)
+        assert!(!v.contains(1));
+        assert!(v.contains(2) && v.contains(3));
+        v.insert(d(4, 9)); // older than current oldest: dropped
+        assert!(!v.contains(4));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut v = View::new(4);
+        for i in 1..=4 {
+            v.insert(d(i, i as u32));
+        }
+        assert!(v.remove(2).is_some());
+        assert!(v.remove(2).is_none());
+        assert_eq!(v.len(), 3);
+        for i in [1u64, 3, 4] {
+            assert_eq!(v.get(i).unwrap().id, i);
+        }
+    }
+
+    #[test]
+    fn oldest_picks_max_age() {
+        let mut v = View::new(4);
+        v.insert(d(1, 3));
+        v.insert(d(2, 7));
+        v.insert(d(3, 5));
+        assert_eq!(v.oldest(), Some(2));
+    }
+
+    #[test]
+    fn random_subset_excludes_and_bounds() {
+        let mut v = View::new(8);
+        for i in 1..=6 {
+            v.insert(d(i, 0));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = v.random_subset(3, Some(4), &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|x| x.id != 4));
+        let all = v.random_subset(100, None, &mut rng);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn merge_shuffle_fills_then_replaces_sent() {
+        let mut v = View::new(3);
+        v.insert(d(1, 4));
+        v.insert(d(2, 1));
+        // We sent descriptor 1 away; merge three received entries.
+        v.merge_shuffle(vec![d(10, 0), d(11, 0), d(12, 0)], &[1], 99);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(10)); // filled the empty slot
+        assert!(v.contains(2)); // untouched: was not sent
+        assert!(!v.contains(1)); // replaced by 11 or 12
+        // Exactly one of 11/12 placed, the other dropped.
+        assert_eq!([11, 12].iter().filter(|&&i| v.contains(i)).count(), 1);
+    }
+
+    #[test]
+    fn merge_shuffle_skips_self_and_known() {
+        let mut v = View::new(3);
+        v.insert(d(1, 4));
+        v.merge_shuffle(vec![d(99, 0), d(1, 9)], &[], 99);
+        assert!(!v.contains(99));
+        assert_eq!(v.get(1).unwrap().age, 4, "staler duplicate ignored");
+        v.merge_shuffle(vec![d(1, 0)], &[], 99);
+        assert_eq!(v.get(1).unwrap().age, 0, "fresher duplicate adopted");
+    }
+
+    #[test]
+    fn replace_all_bounds_and_dedupes() {
+        let mut v = View::new(2);
+        v.replace_all(vec![d(1, 0), d(1, 5), d(2, 0), d(3, 0)]);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(1) && v.contains(2));
+        assert_eq!(v.get(1).unwrap().age, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: View<u8> = View::new(0);
+    }
+}

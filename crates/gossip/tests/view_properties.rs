@@ -1,0 +1,114 @@
+//! Property tests of the bounded-view invariants both gossip layers rely on:
+//! capacity is never exceeded, ids stay unique, the node never stores itself,
+//! and CYCLON's merge rule prefers fresh information.
+
+use epigossip::{Descriptor, NodeId, View};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_desc() -> impl Strategy<Value = Descriptor<u8>> {
+    (0u64..40, 0u32..30, any::<u8>()).prop_map(|(id, age, profile)| Descriptor { id, age, profile })
+}
+
+proptest! {
+    /// Whatever sequence of inserts happens, the view never exceeds its
+    /// capacity and never holds two descriptors with the same id.
+    #[test]
+    fn insert_preserves_invariants(
+        cap in 1usize..12,
+        descs in prop::collection::vec(arb_desc(), 0..60),
+    ) {
+        let mut v: View<u8> = View::new(cap);
+        for d in descs {
+            v.insert(d);
+            prop_assert!(v.len() <= cap);
+            let mut ids = v.ids();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate id in view");
+        }
+    }
+
+    /// merge_shuffle never stores the node's own descriptor, never exceeds
+    /// capacity, and keeps ids unique — under arbitrary batches and sent
+    /// sets.
+    #[test]
+    fn merge_shuffle_preserves_invariants(
+        cap in 1usize..12,
+        initial in prop::collection::vec(arb_desc(), 0..12),
+        received in prop::collection::vec(arb_desc(), 0..20),
+        sent in prop::collection::vec(0u64..40, 0..6),
+        self_id in 0u64..40,
+    ) {
+        let mut v: View<u8> = View::new(cap);
+        for d in initial {
+            if d.id != self_id {
+                v.insert(d);
+            }
+        }
+        let len_before = v.len();
+        v.merge_shuffle(received.clone(), &sent, self_id);
+        prop_assert!(v.len() <= cap);
+        prop_assert!(v.len() >= len_before.min(cap).saturating_sub(sent.len()),
+            "merge may only shrink by replacing sent entries");
+        prop_assert!(!v.contains(self_id), "own descriptor stored");
+        let mut ids = v.ids();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    /// A fresher duplicate always wins; a staler one never replaces.
+    #[test]
+    fn freshness_wins(id in 0u64..10, a in 0u32..30, b in 0u32..30) {
+        let mut v: View<u8> = View::new(4);
+        v.insert(Descriptor { id, age: a, profile: 1 });
+        v.merge_shuffle(vec![Descriptor { id, age: b, profile: 2 }], &[], 99);
+        let kept = v.get(id).unwrap();
+        if b < a {
+            prop_assert_eq!(kept.profile, 2, "fresher adopted");
+        } else {
+            prop_assert_eq!(kept.profile, 1, "staler rejected");
+        }
+    }
+
+    /// random_subset returns distinct entries, never the excluded id, and at
+    /// most the requested count.
+    #[test]
+    fn random_subset_contract(
+        descs in prop::collection::vec(arb_desc(), 0..20),
+        n in 0usize..25,
+        exclude in 0u64..40,
+        seed in any::<u64>(),
+    ) {
+        let mut v: View<u8> = View::new(20);
+        for d in descs {
+            v.insert(d);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = v.random_subset(n, Some(exclude), &mut rng);
+        prop_assert!(subset.len() <= n);
+        prop_assert!(subset.iter().all(|d| d.id != exclude));
+        let mut ids: Vec<NodeId> = subset.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        let m = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), m, "subset entries must be distinct");
+        prop_assert!(subset.iter().all(|d| v.contains(d.id)));
+    }
+
+    /// oldest() returns an entry of maximal age.
+    #[test]
+    fn oldest_is_maximal(descs in prop::collection::vec(arb_desc(), 1..20)) {
+        let mut v: View<u8> = View::new(20);
+        for d in descs {
+            v.insert(d);
+        }
+        let oldest = v.oldest().expect("non-empty");
+        let oldest_age = v.get(oldest).unwrap().age;
+        prop_assert!(v.iter().all(|d| d.age <= oldest_age));
+    }
+}

@@ -1,0 +1,271 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use attrspace::{Point, Query, Space};
+use autosel_core::Match;
+use epigossip::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+
+use crate::peer::{Command, PeerCounters, PeerTask};
+use crate::{NetConfig, Transport};
+
+struct PeerHandle {
+    commands: mpsc::UnboundedSender<Command>,
+    counters: Arc<PeerCounters>,
+    point: Point,
+    task: JoinHandle<()>,
+}
+
+/// The result of a cluster-issued query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Matches reported to the originator.
+    pub matches: Vec<Match>,
+    /// Nodes matching the query at issue time (alive then).
+    pub truth: usize,
+}
+
+impl QueryOutcome {
+    /// Fraction of then-matching nodes reported (≤ the paper's delivery:
+    /// a reached node whose reply was lost is not counted).
+    pub fn delivery(&self) -> f64 {
+        if self.truth == 0 {
+            1.0
+        } else {
+            self.matches.len() as f64 / self.truth as f64
+        }
+    }
+}
+
+/// A live population of overlay nodes running on tokio.
+///
+/// Emulates the paper's DAS (in-memory transport) and PlanetLab
+/// ([`Transport::tcp`]) deployments. Every peer is an independent task; the
+/// cluster handle can issue queries at any node, kill nodes ungracefully,
+/// and read per-node traffic counters.
+pub struct NetCluster {
+    space: Space,
+    transport: Transport,
+    peers: HashMap<NodeId, PeerHandle>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for NetCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetCluster")
+            .field("peers", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetCluster {
+    /// Spawns `points.len()` peers on the given transport. Each is
+    /// introduced to `config.bootstrap_degree` random earlier peers, so the
+    /// overlay must *gossip itself* into a routed state (give it a few
+    /// periods before expecting full delivery).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from TCP listener binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `points` is empty.
+    pub async fn spawn(
+        space: Space,
+        points: Vec<Point>,
+        config: NetConfig,
+        transport: Transport,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        config.validate();
+        assert!(!points.is_empty(), "cluster needs at least one node");
+        let started = tokio::time::Instant::now();
+        let rng = StdRng::seed_from_u64(seed);
+        let mut cluster = NetCluster { space, transport, peers: HashMap::new(), rng };
+        for (i, point) in points.into_iter().enumerate() {
+            cluster.spawn_peer(i as NodeId, point, &config, started).await?;
+        }
+        // Bootstrap introductions (ids are known to the spawner only).
+        let ids: Vec<NodeId> = {
+            let mut ids: Vec<NodeId> = cluster.peers.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        for &id in &ids {
+            for _ in 0..config.bootstrap_degree {
+                let other = ids[cluster.rng.gen_range(0..ids.len())];
+                if other != id {
+                    let point = cluster.peers[&other].point.clone();
+                    let _ = cluster.peers[&id]
+                        .commands
+                        .send(Command::Introduce(other, point));
+                }
+            }
+        }
+        Ok(cluster)
+    }
+
+    async fn spawn_peer(
+        &mut self,
+        id: NodeId,
+        point: Point,
+        config: &NetConfig,
+        started: tokio::time::Instant,
+    ) -> std::io::Result<()> {
+        let (inbox_tx, inbox_rx) = mpsc::unbounded_channel();
+        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+        self.transport.register(id, inbox_tx).await?;
+        let counters = Arc::new(PeerCounters::default());
+        let task = PeerTask::new(
+            id,
+            &self.space,
+            point.clone(),
+            config.clone(),
+            self.transport.clone(),
+            inbox_rx,
+            cmd_rx,
+            Arc::clone(&counters),
+            started,
+        );
+        let handle = tokio::spawn(task.run());
+        self.peers
+            .insert(id, PeerHandle { commands: cmd_tx, counters, point, task: handle });
+        Ok(())
+    }
+
+    /// Alive node ids, in ascending order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.peers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether all nodes are gone.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// A uniformly random alive node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty.
+    pub fn random_node(&mut self) -> NodeId {
+        let ids = self.ids();
+        assert!(!ids.is_empty(), "empty cluster");
+        ids[self.rng.gen_range(0..ids.len())]
+    }
+
+    /// Issues `query` at `origin` and waits for completion (bounded by
+    /// `timeout`). Returns `None` on timeout or if the origin died.
+    pub async fn query(
+        &mut self,
+        origin: NodeId,
+        query: Query,
+        sigma: Option<u32>,
+        timeout: Duration,
+    ) -> Option<QueryOutcome> {
+        let truth = self
+            .peers
+            .values()
+            .filter(|p| query.matches(&p.point))
+            .count();
+        let (tx, rx) = oneshot::channel();
+        self.peers
+            .get(&origin)?
+            .commands
+            .send(Command::BeginQuery { query, sigma, reply: tx })
+            .ok()?;
+        let (_, matches) = tokio::time::timeout(timeout, rx).await.ok()?.ok()?;
+        Some(QueryOutcome { matches, truth })
+    }
+
+    /// Runs a *count-only* query at `origin`: the answer is a single exact
+    /// integer aggregated along the traversal tree (constant-size replies).
+    /// Returns `None` on timeout or a dead origin.
+    pub async fn count(
+        &mut self,
+        origin: NodeId,
+        query: Query,
+        timeout: Duration,
+    ) -> Option<u64> {
+        let (tx, rx) = oneshot::channel();
+        self.peers
+            .get(&origin)?
+            .commands
+            .send(Command::BeginCount { query, reply: tx })
+            .ok()?;
+        tokio::time::timeout(timeout, rx).await.ok()?.ok()
+    }
+
+    /// Kills `id` ungracefully: its task stops, its inbox unroutes, no
+    /// goodbye is gossiped.
+    pub fn kill(&mut self, id: NodeId) {
+        if let Some(p) = self.peers.remove(&id) {
+            let _ = p.commands.send(Command::Shutdown);
+            self.transport.deregister(id);
+            drop(p.task); // detach; the task exits on the shutdown command
+        }
+    }
+
+    /// Kills a uniformly random fraction `f` of nodes; returns the victims.
+    pub fn kill_fraction(&mut self, f: f64) -> Vec<NodeId> {
+        let mut ids = self.ids();
+        let n = ((ids.len() as f64) * f.clamp(0.0, 1.0)).round() as usize;
+        let mut victims = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = self.rng.gen_range(0..ids.len());
+            let id = ids.swap_remove(i);
+            self.kill(id);
+            victims.push(id);
+        }
+        victims
+    }
+
+    /// Per-node `(sent, received)` message counters.
+    pub fn traffic(&self) -> HashMap<NodeId, (u64, u64)> {
+        self.peers
+            .iter()
+            .map(|(&id, p)| {
+                (
+                    id,
+                    (
+                        p.counters.sent.load(std::sync::atomic::Ordering::Relaxed),
+                        p.counters.received.load(std::sync::atomic::Ordering::Relaxed),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// The attribute values of `id`, if alive.
+    pub fn point_of(&self, id: NodeId) -> Option<&Point> {
+        self.peers.get(&id).map(|p| &p.point)
+    }
+
+    /// Stops every peer and waits for their tasks to finish.
+    pub async fn shutdown(mut self) {
+        let ids = self.ids();
+        let mut tasks = Vec::new();
+        for id in ids {
+            if let Some(p) = self.peers.remove(&id) {
+                let _ = p.commands.send(Command::Shutdown);
+                self.transport.deregister(id);
+                tasks.push(p.task);
+            }
+        }
+        for t in tasks {
+            let _ = t.await;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # autosel-net — real-network deployment of the resource-selection overlay
+//!
+//! The paper validates its protocol beyond simulation: 1 000 emulated nodes
+//! on the DAS-3 cluster and 302 nodes on PlanetLab. This crate is the
+//! equivalent runtime, built on tokio:
+//!
+//! * every node is an independent task running the *same* sans-IO state
+//!   machines as the simulator ([`autosel_core::SelectionNode`] +
+//!   [`epigossip::GossipStack`]), with real timers, real queues and real
+//!   message interleavings;
+//! * two transports: [`Transport::Mem`] (in-process channels with optional
+//!   injected latency — the DAS emulation, where 20 processes per physical
+//!   host shared one cluster) and [`Transport::Tcp`] (real sockets over
+//!   loopback with a length-prefixed binary codec — the PlanetLab role);
+//! * [`NetCluster`] — spawn a population, issue queries, kill nodes
+//!   ungracefully, and watch gossip repair the overlay, exactly like
+//!   §6.6–6.7's deployments.
+//!
+//! Wall-clock scaling: experiments shrink the paper's 10-second gossip
+//! period to tens of milliseconds. All dynamics are expressed in gossip
+//! *rounds*, so the scaled runs preserve the recovery behaviour (DESIGN.md
+//! §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod peer;
+mod transport;
+pub mod wire;
+
+pub use cluster::{NetCluster, QueryOutcome};
+pub use config::NetConfig;
+pub use peer::NetMessage;
+pub use transport::Transport;

@@ -1,0 +1,225 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use attrspace::{Point, Query, Space};
+use autosel_core::{
+    Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector,
+};
+use epigossip::{GossipMessage, GossipStack, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tokio::sync::{mpsc, oneshot};
+
+use crate::transport::Envelope;
+use crate::{NetConfig, Transport};
+
+/// A message on the wire: either the selection protocol or overlay gossip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMessage {
+    /// QUERY/REPLY traffic.
+    Protocol(Message),
+    /// Membership gossip.
+    Gossip(GossipMessage<NodeProfile>),
+}
+
+/// Commands a peer accepts from its [`NetCluster`](crate::NetCluster) handle.
+#[derive(Debug)]
+pub(crate) enum Command {
+    BeginQuery {
+        query: Query,
+        sigma: Option<u32>,
+        reply: oneshot::Sender<(QueryId, Vec<Match>)>,
+    },
+    BeginCount {
+        query: Query,
+        reply: oneshot::Sender<u64>,
+    },
+    Introduce(NodeId, Point),
+    Shutdown,
+}
+
+/// Shared per-peer counters, readable from outside the task.
+#[derive(Debug, Default)]
+pub(crate) struct PeerCounters {
+    pub sent: AtomicU64,
+    pub received: AtomicU64,
+}
+
+pub(crate) struct PeerTask {
+    id: NodeId,
+    selection: SelectionNode,
+    gossip: GossipStack<NodeProfile>,
+    transport: Transport,
+    inbox: mpsc::UnboundedReceiver<Envelope>,
+    commands: mpsc::UnboundedReceiver<Command>,
+    config: NetConfig,
+    counters: Arc<PeerCounters>,
+    started: tokio::time::Instant,
+    rng: SmallRng,
+    pending_queries: HashMap<QueryId, oneshot::Sender<(QueryId, Vec<Match>)>>,
+    pending_counts: HashMap<QueryId, oneshot::Sender<u64>>,
+    /// Fail-fast feedback from the transport: peers that refused a send.
+    failures_tx: mpsc::UnboundedSender<NodeId>,
+    failures_rx: mpsc::UnboundedReceiver<NodeId>,
+}
+
+impl PeerTask {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: NodeId,
+        space: &Space,
+        point: Point,
+        config: NetConfig,
+        transport: Transport,
+        inbox: mpsc::UnboundedReceiver<Envelope>,
+        commands: mpsc::UnboundedReceiver<Command>,
+        counters: Arc<PeerCounters>,
+        started: tokio::time::Instant,
+    ) -> Self {
+        let selection = SelectionNode::new(id, space, point, config.protocol.clone());
+        let gossip = GossipStack::new(
+            id,
+            selection.profile(),
+            config.gossip.clone(),
+            SlotSelector::default(),
+        );
+        let (failures_tx, failures_rx) = mpsc::unbounded_channel();
+        PeerTask {
+            id,
+            selection,
+            gossip,
+            transport,
+            inbox,
+            commands,
+            config,
+            counters,
+            started,
+            rng: SmallRng::seed_from_u64(id ^ 0xA5A5_5A5A_DEAD_BEEF),
+            pending_queries: HashMap::new(),
+            pending_counts: HashMap::new(),
+            failures_tx,
+            failures_rx,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn send(&self, to: NodeId, msg: NetMessage) {
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        self.transport.send(self.id, to, msg, &self.failures_tx);
+    }
+
+    fn apply_outputs(&mut self, outputs: Vec<Output>) {
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => self.send(to, NetMessage::Protocol(msg)),
+                Output::Completed { id, matches, count } => {
+                    if let Some(reply) = self.pending_queries.remove(&id) {
+                        let _ = reply.send((id, matches));
+                    } else if let Some(reply) = self.pending_counts.remove(&id) {
+                        let _ = reply.send(count);
+                    }
+                }
+                Output::NeighborFailed(peer) => self.gossip.evict(peer),
+            }
+        }
+    }
+
+    fn do_gossip(&mut self) {
+        let now = self.now();
+        let msgs = self.gossip.tick(now, &mut self.rng);
+        let view = self.gossip.semantic_view().clone();
+        self.selection.sync_from_view(&view, &mut self.rng);
+        for (to, m) in msgs {
+            self.send(to, NetMessage::Gossip(m));
+        }
+    }
+
+    fn handle_envelope(&mut self, from: NodeId, msg: NetMessage) {
+        self.counters.received.fetch_add(1, Ordering::Relaxed);
+        match msg {
+            NetMessage::Protocol(m) => {
+                let now = self.now();
+                let outputs = self.selection.handle_message(from, m, now);
+                self.apply_outputs(outputs);
+            }
+            NetMessage::Gossip(g) => {
+                let replies = self.gossip.handle(from, g, &mut self.rng);
+                let view = self.gossip.semantic_view().clone();
+                self.selection.sync_from_view(&view, &mut self.rng);
+                for (to, m) in replies {
+                    self.send(to, NetMessage::Gossip(m));
+                }
+            }
+        }
+    }
+
+    fn handle_command(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::BeginQuery { query, sigma, reply } => {
+                let now = self.now();
+                let (qid, outputs) = self.selection.begin_query(query, sigma, now);
+                self.pending_queries.insert(qid, reply);
+                self.apply_outputs(outputs);
+                true
+            }
+            Command::BeginCount { query, reply } => {
+                let now = self.now();
+                let (qid, outputs) = self.selection.begin_count_query(query, Vec::new(), now);
+                self.pending_counts.insert(qid, reply);
+                self.apply_outputs(outputs);
+                true
+            }
+            Command::Introduce(id, point) => {
+                let profile = NodeProfile::new(self.selection.space(), point);
+                self.gossip.introduce(id, profile);
+                true
+            }
+            Command::Shutdown => false,
+        }
+    }
+
+    /// The peer's main loop; returns when shut down.
+    pub(crate) async fn run(mut self) {
+        let mut gossip_timer =
+            tokio::time::interval(std::time::Duration::from_millis(self.config.gossip.period_ms));
+        gossip_timer.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        let mut poll_timer =
+            tokio::time::interval(std::time::Duration::from_millis(self.config.poll_interval_ms));
+        poll_timer.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        loop {
+            tokio::select! {
+                env = self.inbox.recv() => match env {
+                    Some((from, msg)) => self.handle_envelope(from, msg),
+                    None => break,
+                },
+                cmd = self.commands.recv() => match cmd {
+                    Some(c) => {
+                        if !self.handle_command(c) {
+                            break;
+                        }
+                    }
+                    None => break,
+                },
+                _ = gossip_timer.tick() => self.do_gossip(),
+                _ = poll_timer.tick() => {
+                    let now = self.now();
+                    let outputs = self.selection.poll_timeouts(now);
+                    self.apply_outputs(outputs);
+                }
+                Some(peer) = self.failures_rx.recv() => {
+                    // Transport said `peer` is gone: skip its subtrees now
+                    // and stop gossiping with it.
+                    self.gossip.evict(peer);
+                    let now = self.now();
+                    let outputs = self.selection.peer_unreachable(peer, now);
+                    self.apply_outputs(outputs);
+                }
+            }
+        }
+        self.transport.deregister(self.id);
+    }
+}

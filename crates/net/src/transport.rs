@@ -1,0 +1,286 @@
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use attrspace::Space;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use epigossip::NodeId;
+use parking_lot::RwLock;
+use rand::Rng;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+use crate::peer::NetMessage;
+use crate::wire;
+
+/// An envelope delivered to a peer's inbox.
+pub(crate) type Envelope = (NodeId, NetMessage);
+
+/// How peers exchange messages.
+///
+/// Cloneable and shared by every peer task; destinations that have left the
+/// registry (killed nodes) silently swallow messages, exactly like the
+/// simulator's drop-on-dead semantics.
+#[derive(Clone)]
+pub enum Transport {
+    /// In-process channels, optionally with injected uniform latency —
+    /// the DAS-emulation transport.
+    Mem {
+        /// Inbox senders per peer.
+        registry: Arc<RwLock<HashMap<NodeId, mpsc::UnboundedSender<Envelope>>>>,
+        /// Injected latency range (ms), if any.
+        latency_ms: Option<(u64, u64)>,
+    },
+    /// Real TCP sockets with the [`wire`] codec — the PlanetLab transport.
+    Tcp {
+        /// Listener addresses per peer.
+        registry: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+        /// Space used to decode inbound frames.
+        space: Space,
+    },
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Mem { registry, latency_ms } => f
+                .debug_struct("Transport::Mem")
+                .field("peers", &registry.read().len())
+                .field("latency_ms", latency_ms)
+                .finish(),
+            Transport::Tcp { registry, .. } => f
+                .debug_struct("Transport::Tcp")
+                .field("peers", &registry.read().len())
+                .finish(),
+        }
+    }
+}
+
+impl Transport {
+    /// Creates an empty in-memory transport.
+    pub fn mem(latency_ms: Option<(u64, u64)>) -> Self {
+        Transport::Mem { registry: Arc::new(RwLock::new(HashMap::new())), latency_ms }
+    }
+
+    /// Creates an empty TCP transport decoding against `space`.
+    pub fn tcp(space: Space) -> Self {
+        Transport::Tcp { registry: Arc::new(RwLock::new(HashMap::new())), space }
+    }
+
+    /// Registers a peer: for Mem, wires its inbox sender; for TCP, binds a
+    /// loopback listener and spawns the accept loop feeding the inbox.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the TCP listener.
+    pub async fn register(
+        &self,
+        id: NodeId,
+        inbox: mpsc::UnboundedSender<Envelope>,
+    ) -> std::io::Result<()> {
+        match self {
+            Transport::Mem { registry, .. } => {
+                registry.write().insert(id, inbox);
+                Ok(())
+            }
+            Transport::Tcp { registry, space } => {
+                let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+                let addr = listener.local_addr()?;
+                registry.write().insert(id, addr);
+                let space = space.clone();
+                tokio::spawn(async move {
+                    loop {
+                        let Ok((stream, _)) = listener.accept().await else { break };
+                        let inbox = inbox.clone();
+                        let space = space.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_conn(stream, space, inbox).await;
+                        });
+                    }
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a peer from the registry; in-flight and future messages to it
+    /// are dropped.
+    pub fn deregister(&self, id: NodeId) {
+        match self {
+            Transport::Mem { registry, .. } => {
+                registry.write().remove(&id);
+            }
+            Transport::Tcp { registry, .. } => {
+                registry.write().remove(&id);
+            }
+        }
+    }
+
+    /// Sends `msg` from `from` to `to`. Unknown or dead destinations fail
+    /// fast: `to` is pushed on `failures` (the paper's deployments run on
+    /// TCP, where a dead endpoint refuses the connection immediately), so
+    /// the sender can skip the broken link instead of waiting for `T(q)`.
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        msg: NetMessage,
+        failures: &mpsc::UnboundedSender<NodeId>,
+    ) {
+        match self {
+            Transport::Mem { registry, latency_ms } => {
+                let Some(tx) = registry.read().get(&to).cloned() else {
+                    let _ = failures.send(to);
+                    return;
+                };
+                match *latency_ms {
+                    None => {
+                        if tx.send((from, msg)).is_err() {
+                            let _ = failures.send(to);
+                        }
+                    }
+                    Some((lo, hi)) => {
+                        let delay = rand::thread_rng().gen_range(lo..=hi);
+                        let failures = failures.clone();
+                        tokio::spawn(async move {
+                            tokio::time::sleep(std::time::Duration::from_millis(delay)).await;
+                            if tx.send((from, msg)).is_err() {
+                                let _ = failures.send(to);
+                            }
+                        });
+                    }
+                }
+            }
+            Transport::Tcp { registry, .. } => {
+                let Some(addr) = registry.read().get(&to).copied() else {
+                    let _ = failures.send(to);
+                    return;
+                };
+                let frame = frame(from, &msg);
+                let failures = failures.clone();
+                tokio::spawn(async move {
+                    match TcpStream::connect(addr).await {
+                        Ok(mut stream) => {
+                            if stream.write_all(&frame).await.is_err() {
+                                let _ = failures.send(to);
+                            }
+                            let _ = stream.shutdown().await;
+                        }
+                        Err(_) => {
+                            let _ = failures.send(to);
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// Ids currently registered.
+    pub fn peers(&self) -> Vec<NodeId> {
+        match self {
+            Transport::Mem { registry, .. } => registry.read().keys().copied().collect(),
+            Transport::Tcp { registry, .. } => registry.read().keys().copied().collect(),
+        }
+    }
+}
+
+/// Frame layout: `[u32 len][u64 from][payload]`, len covers from+payload.
+fn frame(from: NodeId, msg: &NetMessage) -> Bytes {
+    let payload = wire::encode(msg);
+    let mut buf = BytesMut::with_capacity(12 + payload.len());
+    buf.put_u32_le((8 + payload.len()) as u32);
+    buf.put_u64_le(from);
+    buf.extend_from_slice(&payload);
+    buf.freeze()
+}
+
+async fn serve_conn(
+    mut stream: TcpStream,
+    space: Space,
+    inbox: mpsc::UnboundedSender<Envelope>,
+) -> std::io::Result<()> {
+    loop {
+        let mut len_buf = [0u8; 4];
+        match stream.read_exact(&mut len_buf).await {
+            Ok(_) => {}
+            Err(_) => return Ok(()), // EOF between frames
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(8..16 * 1024 * 1024).contains(&len) {
+            return Ok(()); // nonsense length: drop connection
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).await?;
+        let mut body = Bytes::from(body);
+        let from = body.get_u64_le();
+        if let Ok(msg) = wire::decode(&space, body) {
+            if inbox.send((from, msg)).is_err() {
+                return Ok(()); // peer gone
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrspace::Query;
+    use autosel_core::{Message, QueryId, QueryMsg};
+
+    fn sample_msg(space: &Space) -> NetMessage {
+        NetMessage::Protocol(Message::Query(QueryMsg {
+            id: QueryId { origin: 1, seq: 2 },
+            query: Query::builder(space).build().unwrap(),
+            sigma: None,
+            level: 3,
+            dims: 0b11,
+            dynamic: Vec::new(),
+            count_only: false,
+            visited_zero: Vec::new(),
+        }))
+    }
+
+    #[tokio::test]
+    async fn mem_transport_delivers() {
+        let space = Space::uniform(2, 80, 3).unwrap();
+        let t = Transport::mem(None);
+        let (tx, mut rx) = mpsc::unbounded_channel();
+        t.register(7, tx).await.unwrap();
+        let (ftx, _frx) = mpsc::unbounded_channel();
+        t.send(3, 7, sample_msg(&space), &ftx);
+        let (from, msg) = rx.recv().await.unwrap();
+        assert_eq!(from, 3);
+        assert_eq!(msg, sample_msg(&space));
+    }
+
+    #[tokio::test]
+    async fn mem_transport_drops_to_dead() {
+        let space = Space::uniform(2, 80, 3).unwrap();
+        let t = Transport::mem(None);
+        let (tx, mut rx) = mpsc::unbounded_channel();
+        t.register(7, tx).await.unwrap();
+        t.deregister(7);
+        let (ftx, mut frx) = mpsc::unbounded_channel();
+        t.send(3, 7, sample_msg(&space), &ftx);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(frx.try_recv(), Ok(7), "fail-fast feedback delivered");
+        assert!(t.peers().is_empty());
+    }
+
+    #[tokio::test]
+    async fn tcp_transport_round_trips_frames() {
+        let space = Space::uniform(2, 80, 3).unwrap();
+        let t = Transport::tcp(space.clone());
+        let (tx, mut rx) = mpsc::unbounded_channel();
+        t.register(9, tx).await.unwrap();
+        let (ftx, _frx) = mpsc::unbounded_channel();
+        t.send(4, 9, sample_msg(&space), &ftx);
+        let (from, msg) = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .expect("timely")
+            .expect("delivered");
+        assert_eq!(from, 4);
+        assert_eq!(msg, sample_msg(&space));
+    }
+}

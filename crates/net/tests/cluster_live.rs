@@ -1,0 +1,168 @@
+//! Live-runtime integration: real tokio tasks gossip an overlay into
+//! existence, answer multi-attribute queries, and survive ungraceful kills —
+//! the behaviours the paper demonstrated on DAS and PlanetLab.
+
+use std::time::Duration;
+
+use attrspace::{Point, Query, Space};
+use autosel_net::{NetCluster, NetConfig, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Polls the cluster with `query` until delivery crosses `bar` or `tries`
+/// rounds elapse — debug builds on loaded CI boxes converge slowly, so the
+/// tests adapt instead of guessing a fixed warm-up sleep.
+async fn wait_for_delivery(
+    cluster: &mut NetCluster,
+    query: &Query,
+    bar: f64,
+    tries: u32,
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..tries {
+        tokio::time::sleep(Duration::from_millis(700)).await;
+        let origin = cluster.random_node();
+        if let Some(outcome) = cluster
+            .query(origin, query.clone(), None, Duration::from_secs(30))
+            .await
+        {
+            best = best.max(outcome.delivery());
+            if best >= bar {
+                return best;
+            }
+        }
+    }
+    best
+}
+
+fn points(space: &Space, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let vals: Vec<u64> = (0..space.dims()).map(|_| rng.gen_range(0..80)).collect();
+            space.point(&vals).unwrap()
+        })
+        .collect()
+}
+
+fn fast_config() -> NetConfig {
+    NetConfig {
+        gossip: epigossip::GossipConfig { period_ms: 30, ..Default::default() },
+        // The per-neighbor timeout must cover a whole depth-first *subtree*
+        // (many sequential hops), not one RTT — too tight a value amputates
+        // subtrees and silently loses matches.
+        protocol: autosel_core::ProtocolConfig { query_timeout_ms: 10_000, ..Default::default() },
+        poll_interval_ms: 10,
+        injected_latency_ms: Some((1, 3)),
+        bootstrap_degree: 3,
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn mem_cluster_converges_and_answers_queries() {
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 80, 1);
+    let mut cluster = NetCluster::spawn(
+        space.clone(),
+        pts,
+        cfg.clone(),
+        Transport::mem(cfg.injected_latency_ms),
+        7,
+    )
+    .await
+    .unwrap();
+
+    let query = Query::builder(&space).min("a0", 40).build().unwrap();
+    let best = wait_for_delivery(&mut cluster, &query, 0.9, 15).await;
+    assert!(best > 0.9, "live overlay reached only {best:.2}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn sigma_queries_return_promptly_on_live_cluster() {
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 60, 2);
+    let mut cluster =
+        NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 3)
+            .await
+            .unwrap();
+    tokio::time::sleep(Duration::from_millis(1_200)).await;
+
+    let query = Query::builder(&space).min("a0", 10).build().unwrap();
+    let origin = cluster.random_node();
+    let outcome = cluster
+        .query(origin, query.clone(), Some(5), Duration::from_secs(20))
+        .await
+        .expect("σ query completes");
+    assert!(outcome.matches.len() >= 5);
+    assert!(outcome.matches.iter().all(|m| query.matches(&m.values)));
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn overlay_survives_partial_kill_and_recovers() {
+    let space = Space::uniform(2, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 80, 3);
+    let mut cluster =
+        NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 11)
+            .await
+            .unwrap();
+    tokio::time::sleep(Duration::from_millis(1_500)).await;
+
+    let victims = cluster.kill_fraction(0.3);
+    assert!(!victims.is_empty());
+
+    // Recovery: gossip evicts the dead and re-links.
+    let query = Query::builder(&space).build().unwrap(); // match everyone alive
+    let best = wait_for_delivery(&mut cluster, &query, 0.85, 15).await;
+    assert!(best > 0.85, "after 30% kill, best delivery {best:.2}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn tcp_cluster_end_to_end() {
+    let space = Space::uniform(2, 80, 2).unwrap();
+    let cfg = NetConfig {
+        gossip: epigossip::GossipConfig { period_ms: 40, ..Default::default() },
+        injected_latency_ms: None,
+        ..fast_config()
+    };
+    let pts = points(&space, 16, 4);
+    let mut cluster = NetCluster::spawn(space.clone(), pts, cfg, Transport::tcp(space.clone()), 5)
+        .await
+        .unwrap();
+    let query = Query::builder(&space).min("a0", 20).build().unwrap();
+    let best = wait_for_delivery(&mut cluster, &query, 0.75, 12).await;
+    assert!(best > 0.75, "tcp delivery {best:.2}");
+    let traffic = cluster.traffic();
+    assert!(traffic.values().all(|&(s, r)| s > 0 || r > 0), "all peers active");
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn count_queries_on_live_cluster() {
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 60, 6);
+    let truth = pts.iter().filter(|p| p.values()[0] >= 40).count() as u64;
+    let mut cluster =
+        NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 9)
+            .await
+            .unwrap();
+    let query = Query::builder(&space).min("a0", 40).build().unwrap();
+    // Converge first (reuse the adaptive helper), then count.
+    let _ = wait_for_delivery(&mut cluster, &query, 0.95, 15).await;
+    let origin = cluster.random_node();
+    let count = cluster
+        .count(origin, query, Duration::from_secs(30))
+        .await
+        .expect("count completes");
+    assert!(
+        count >= truth * 9 / 10 && count <= truth,
+        "count {count} vs truth {truth}"
+    );
+    cluster.shutdown().await;
+}

@@ -1,0 +1,652 @@
+use std::collections::{BinaryHeap, HashMap};
+
+use attrspace::{Point, Query, Space};
+use autosel_core::bootstrap::wire_perfect;
+use autosel_core::{
+    DynamicConstraint, Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector,
+};
+use epigossip::{GossipStack, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{EventKind, Payload, ScheduledEvent};
+use crate::metrics::LoadHistogram;
+use crate::{Placement, QueryStats, SimConfig};
+
+struct SimNode {
+    selection: SelectionNode,
+    gossip: Option<GossipStack<NodeProfile>>,
+    /// Messages (queries + replies + gossip) dispatched by this node —
+    /// Fig. 9's load metric.
+    sent: u64,
+    /// Protocol messages received.
+    received: u64,
+}
+
+/// A simulated population of resource-selection nodes under virtual time.
+///
+/// See the crate docs for an end-to-end example. The cluster is
+/// deterministic for a given seed and sequence of calls.
+pub struct SimCluster {
+    space: Space,
+    config: SimConfig,
+    nodes: HashMap<NodeId, SimNode>,
+    queue: BinaryHeap<ScheduledEvent>,
+    now: u64,
+    seq: u64,
+    next_id: NodeId,
+    rng: StdRng,
+    queries: HashMap<QueryId, QueryStats>,
+    completed: HashMap<QueryId, Vec<Match>>,
+    /// Queries whose stats should be tracked (issue-time match snapshot).
+    truth: HashMap<QueryId, Query>,
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimCluster {
+    /// Creates an empty cluster over `space`.
+    pub fn new(space: Space, config: SimConfig, seed: u64) -> Self {
+        config.gossip.validate();
+        SimCluster {
+            space,
+            config,
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            queries: HashMap::new(),
+            completed: HashMap::new(),
+            truth: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The attribute space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Ids of all alive nodes, in ascending order (determinism: anything
+    /// that feeds the seeded RNG must enumerate in a stable order).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// A uniformly random alive node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty.
+    pub fn random_node(&mut self) -> NodeId {
+        assert!(!self.nodes.is_empty(), "empty cluster");
+        let ids = self.node_ids();
+        ids[self.rng.gen_range(0..ids.len())]
+    }
+
+    /// The attribute values of `id`, if alive.
+    pub fn point_of(&self, id: NodeId) -> Option<&Point> {
+        self.nodes.get(&id).map(|n| n.selection.point())
+    }
+
+    /// Adds one node at `point`, bootstrapping its gossip stack off up to
+    /// three random existing nodes. Returns the new node's id.
+    pub fn add_node(&mut self, point: Point) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let selection = SelectionNode::new(id, &self.space, point, self.config.protocol.clone());
+        let gossip = if self.config.gossip_enabled {
+            let mut stack = GossipStack::new(
+                id,
+                selection.profile(),
+                self.config.gossip.clone(),
+                SlotSelector::default(),
+            );
+            let mut existing: Vec<NodeId> = self.nodes.keys().copied().collect();
+            existing.sort_unstable();
+            for _ in 0..3.min(existing.len()) {
+                let seed = existing[self.rng.gen_range(0..existing.len())];
+                let profile = self.nodes[&seed].selection.profile();
+                stack.introduce(seed, profile);
+            }
+            // Stagger the first gossip within one period.
+            let offset = self.rng.gen_range(0..self.config.gossip.period_ms);
+            stack.schedule_first(self.now + offset);
+            self.schedule(self.now + offset, EventKind::GossipTick { node: id });
+            Some(stack)
+        } else {
+            None
+        };
+        self.nodes.insert(id, SimNode { selection, gossip, sent: 0, received: 0 });
+        id
+    }
+
+    /// Adds `n` nodes drawn from `placement`.
+    pub fn populate(&mut self, placement: &Placement, n: usize) {
+        for i in 0..n {
+            let point = placement.draw(&self.space, i, &mut self.rng);
+            self.add_node(point);
+        }
+    }
+
+    /// Oracle-wires every routing table from global knowledge (the paper's
+    /// converged initial state for the static experiments).
+    pub fn wire_oracle(&mut self) {
+        let ids = self.node_ids();
+        // Move the state machines out, wire them together, put them back.
+        let mut selections: Vec<SelectionNode> = Vec::with_capacity(ids.len());
+        for id in &ids {
+            let node = self.nodes.get_mut(id).expect("known id");
+            let placeholder = SelectionNode::new(
+                *id,
+                &self.space,
+                node.selection.point().clone(),
+                self.config.protocol.clone(),
+            );
+            selections.push(std::mem::replace(&mut node.selection, placeholder));
+        }
+        wire_perfect(&mut selections, &mut self.rng);
+        for sel in selections {
+            let id = sel.id();
+            self.nodes.get_mut(&id).expect("known id").selection = sel;
+        }
+    }
+
+    /// Sets a dynamic attribute on a node (footnote 1 of the paper): checked
+    /// locally at match time, never routed or gossiped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive.
+    pub fn set_dynamic(&mut self, id: NodeId, key: u32, value: u64) {
+        self.nodes
+            .get_mut(&id)
+            .expect("node alive")
+            .selection
+            .set_dynamic(key, value);
+    }
+
+    /// Issues `query` from `origin` (σ-bounded if given); returns the id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not alive.
+    pub fn issue_query(&mut self, origin: NodeId, query: Query, sigma: Option<u32>) -> QueryId {
+        self.issue_query_full(origin, query, Vec::new(), sigma)
+    }
+
+    /// Issues a *count-only* query (§2's Astrolabe comparison: this overlay
+    /// both counts and enumerates): the traversal is identical but replies
+    /// carry one integer per subtree. Read the exact count from
+    /// [`QueryStats::reported`] once completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not alive.
+    pub fn issue_count_query(&mut self, origin: NodeId, query: Query) -> QueryId {
+        let truth = self
+            .nodes
+            .values()
+            .filter(|n| query.matches(n.selection.point()))
+            .count() as u32;
+        let node = self.nodes.get_mut(&origin).expect("origin alive");
+        let (qid, outputs) = node.selection.begin_count_query(query.clone(), Vec::new(), self.now);
+        let mut stats = QueryStats::new(self.now, truth);
+        stats.receivers.insert(origin);
+        if query.matches(node.selection.point()) {
+            stats.matched_reached.insert(origin);
+        }
+        self.queries.insert(qid, stats);
+        self.truth.insert(qid, query);
+        self.apply_outputs(origin, outputs);
+        qid
+    }
+
+    /// Like [`issue_query`](Self::issue_query) with dynamic-attribute
+    /// constraints. Note the recorded [`QueryStats::truth`] counts *static*
+    /// matches only — delivery is measured against the routable set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not alive.
+    pub fn issue_query_full(
+        &mut self,
+        origin: NodeId,
+        query: Query,
+        dynamic: Vec<DynamicConstraint>,
+        sigma: Option<u32>,
+    ) -> QueryId {
+        let truth = self
+            .nodes
+            .values()
+            .filter(|n| query.matches(n.selection.point()))
+            .count() as u32;
+        let node = self.nodes.get_mut(&origin).expect("origin alive");
+        let (qid, outputs) =
+            node.selection
+                .begin_query_full(query.clone(), dynamic, sigma, self.now);
+        let mut stats = QueryStats::new(self.now, truth);
+        // The origin counts as reached if it matches (it "received" the
+        // query by creating it).
+        stats.receivers.insert(origin);
+        if query.matches(node.selection.point()) {
+            stats.matched_reached.insert(origin);
+        }
+        self.queries.insert(qid, stats);
+        self.truth.insert(qid, query);
+        self.apply_outputs(origin, outputs);
+        qid
+    }
+
+    /// The recorded statistics for a query.
+    pub fn query_stats(&self, id: QueryId) -> Option<&QueryStats> {
+        self.queries.get(&id)
+    }
+
+    /// The matches reported to the originator, once completed.
+    pub fn query_result(&self, id: QueryId) -> Option<&[Match]> {
+        self.completed.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Drops per-query bookkeeping (long experiments call this after
+    /// sampling a query's stats).
+    pub fn forget_query(&mut self, id: QueryId) {
+        self.queries.remove(&id);
+        self.completed.remove(&id);
+        self.truth.remove(&id);
+    }
+
+    /// Kills `id` abruptly (no goodbye messages — the paper's ungraceful
+    /// departure). In-flight messages to it are dropped on delivery.
+    pub fn kill(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+    }
+
+    /// Kills a uniformly random fraction `f` of nodes at once (§6.7).
+    /// Returns how many died.
+    pub fn kill_fraction(&mut self, f: f64) -> usize {
+        let mut ids = self.node_ids();
+        let n = ((ids.len() as f64) * f.clamp(0.0, 1.0)).round() as usize;
+        for _ in 0..n {
+            let i = self.rng.gen_range(0..ids.len());
+            let id = ids.swap_remove(i);
+            self.nodes.remove(&id);
+        }
+        n
+    }
+
+    /// One churn step (§6.6): a fraction `f` of nodes leave ungracefully and
+    /// the same number re-enter *under fresh identities* at new uniform
+    /// positions drawn from `placement`.
+    pub fn churn_step(&mut self, f: f64, placement: &Placement) {
+        let died = self.kill_fraction(f);
+        for i in 0..died {
+            let point = placement.draw(&self.space, i, &mut self.rng);
+            self.add_node(point);
+        }
+    }
+
+    /// Per-node dispatched-message counts (Fig. 9's load metric).
+    pub fn load_histogram(&self) -> LoadHistogram {
+        LoadHistogram::new(self.nodes.values().map(|n| n.sent).collect())
+    }
+
+    /// Resets per-node message counters (between measurement windows).
+    pub fn reset_load(&mut self) {
+        for n in self.nodes.values_mut() {
+            n.sent = 0;
+            n.received = 0;
+        }
+    }
+
+    /// Per-node routing-table link counts (Fig. 10's metric).
+    pub fn link_histogram(&self) -> LoadHistogram {
+        LoadHistogram::new(
+            self.nodes
+                .values()
+                .map(|n| n.selection.routing().link_count() as u64)
+                .collect(),
+        )
+    }
+
+    /// Link counts as a *gossip-bounded* node would report them: the
+    /// `neighborsZero` contribution is capped by the remaining gossip-cache
+    /// capacity (the paper's footnote 4: "for d < 5 the number of neighbors
+    /// maintained by each node is bounded by the gossip cache"). Oracle
+    /// wiring stores the full `C0` membership for delivery exactness; this
+    /// view reports what a live deployment would maintain.
+    pub fn link_histogram_cache_bounded(&self, cache: usize) -> LoadHistogram {
+        LoadHistogram::new(
+            self.nodes
+                .values()
+                .map(|n| {
+                    let slots = n.selection.routing().slot_count();
+                    let zero = n.selection.routing().zero_count();
+                    (slots + zero.min(cache.saturating_sub(slots))) as u64
+                })
+                .collect(),
+        )
+    }
+
+    /// Total duplicate query receipts across all nodes and queries (the §6
+    /// correctness claim is that this is always zero without churn).
+    pub fn total_duplicates(&self) -> u64 {
+        self.queries.values().map(|q| q.duplicates).sum()
+    }
+
+    /// Processes events until the queue is empty (static experiments) —
+    /// queries run to completion, no gossip is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gossip is enabled (the gossip tick makes the queue
+    /// perpetual; use [`run_until`](Self::run_until) instead).
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            !self.config.gossip_enabled,
+            "gossip keeps the queue non-empty; use run_until"
+        );
+        while let Some(ev) = self.queue.pop() {
+            self.now = self.now.max(ev.at);
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Processes events with firing time ≤ `t`, then advances the clock to
+    /// `t`.
+    pub fn run_until(&mut self, t: u64) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = self.now.max(ev.at);
+            self.dispatch(ev.kind);
+        }
+        self.now = self.now.max(t);
+    }
+
+    fn schedule(&mut self, at: u64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(ScheduledEvent { at, seq: self.seq, kind });
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+        if let Some(n) = self.nodes.get_mut(&from) {
+            n.sent += 1;
+        }
+        if let Payload::Protocol(msg) = &payload {
+            if let Some(stats) = self.queries.get_mut(&msg.query_id()) {
+                stats.messages += 1;
+            }
+        }
+        if let Some(delay) = self.config.latency.sample(&mut self.rng) {
+            if matches!(payload, Payload::Protocol(_))
+                && self.config.fail_fast_dead_links
+                && !self.nodes.contains_key(&to)
+            {
+                // Dead destination: the connection attempt fails after one
+                // latency sample and the sender skips the broken link.
+                self.schedule(self.now + delay, EventKind::SendFailed { node: from, peer: to });
+                return;
+            }
+            self.schedule(self.now + delay, EventKind::Deliver { from, to, payload });
+        }
+    }
+
+    fn apply_outputs(&mut self, from: NodeId, outputs: Vec<Output>) {
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => self.send(from, to, Payload::Protocol(msg)),
+                Output::Completed { id, matches, count } => {
+                    if let Some(stats) = self.queries.get_mut(&id) {
+                        stats.completed = true;
+                        stats.completed_at = Some(self.now);
+                        stats.reported = count as u32;
+                    }
+                    self.completed.insert(id, matches);
+                }
+                Output::NeighborFailed(peer) => {
+                    if let Some(n) = self.nodes.get_mut(&from) {
+                        if let Some(g) = n.gossip.as_mut() {
+                            g.evict(peer);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { from, to, payload } => {
+                if !self.nodes.contains_key(&to) {
+                    return; // dead receiver: message dropped (§6.6)
+                }
+                match payload {
+                    Payload::Protocol(msg) => {
+                        self.record_receipt(to, &msg);
+                        let node = self.nodes.get_mut(&to).expect("alive");
+                        node.received += 1;
+                        let outputs = node.selection.handle_message(from, msg, self.now);
+                        // Ensure a timeout poll is scheduled for new waits.
+                        if let Some(at) = node.selection.next_timeout() {
+                            self.schedule(at, EventKind::PollTimeouts { node: to });
+                        }
+                        self.apply_outputs(to, outputs);
+                    }
+                    Payload::Gossip(msg) => {
+                        let node = self.nodes.get_mut(&to).expect("alive");
+                        let Some(stack) = node.gossip.as_mut() else { return };
+                        let replies = stack.handle(from, msg, &mut self.rng);
+                        // Routing tables follow the semantic view.
+                        let view = stack.semantic_view().clone();
+                        node.selection.sync_from_view(&view, &mut self.rng);
+                        for (dst, m) in replies {
+                            self.send(to, dst, Payload::Gossip(m));
+                        }
+                    }
+                }
+            }
+            EventKind::GossipTick { node } => {
+                let Some(n) = self.nodes.get_mut(&node) else { return };
+                let Some(stack) = n.gossip.as_mut() else { return };
+                let msgs = stack.tick(self.now, &mut self.rng);
+                let view = stack.semantic_view().clone();
+                n.selection.sync_from_view(&view, &mut self.rng);
+                let period = self.config.gossip.period_ms;
+                for (dst, m) in msgs {
+                    self.send(node, dst, Payload::Gossip(m));
+                }
+                self.schedule(self.now + period, EventKind::GossipTick { node });
+            }
+            EventKind::PollTimeouts { node } => {
+                let Some(n) = self.nodes.get_mut(&node) else { return };
+                let outputs = n.selection.poll_timeouts(self.now);
+                if let Some(at) = n.selection.next_timeout() {
+                    self.schedule(at.max(self.now + 1), EventKind::PollTimeouts { node });
+                }
+                self.apply_outputs(node, outputs);
+            }
+            EventKind::SendFailed { node, peer } => {
+                let Some(n) = self.nodes.get_mut(&node) else { return };
+                if let Some(g) = n.gossip.as_mut() {
+                    g.evict(peer);
+                }
+                let outputs = n.selection.peer_unreachable(peer, self.now);
+                self.apply_outputs(node, outputs);
+            }
+        }
+    }
+
+    fn record_receipt(&mut self, to: NodeId, msg: &Message) {
+        let Message::Query(q) = msg else { return };
+        let Some(stats) = self.queries.get_mut(&q.id) else { return };
+        let Some(query) = self.truth.get(&q.id) else { return };
+        if !stats.receivers.insert(to) {
+            stats.duplicates += 1;
+            return;
+        }
+        let point = self.nodes[&to].selection.point();
+        if query.matches(point) {
+            stats.matched_reached.insert(to);
+        } else {
+            stats.overhead += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrspace::Query;
+
+    fn space() -> Space {
+        Space::uniform(3, 80, 3).unwrap()
+    }
+
+    #[test]
+    fn static_query_full_delivery() {
+        let s = space();
+        let mut sim = SimCluster::new(s.clone(), SimConfig::fast_static(), 1);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 300);
+        sim.wire_oracle();
+        let q = Query::builder(&s).min("a0", 40).build().unwrap();
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q, None);
+        sim.run_to_quiescence();
+        let st = sim.query_stats(qid).unwrap();
+        assert!(st.completed);
+        assert_eq!(st.delivery(), 1.0);
+        assert_eq!(st.duplicates, 0);
+        assert_eq!(st.reported, st.truth);
+        assert!(st.truth > 50, "workload sanity");
+    }
+
+    #[test]
+    fn sigma_limits_messages() {
+        let s = space();
+        let mut sim = SimCluster::new(s.clone(), SimConfig::fast_static(), 2);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 500);
+        sim.wire_oracle();
+        let q = Query::builder(&s).min("a0", 10).build().unwrap();
+        let origin = sim.random_node();
+        let unbounded = sim.issue_query(origin, q.clone(), None);
+        sim.run_to_quiescence();
+        let bounded = sim.issue_query(origin, q, Some(10));
+        sim.run_to_quiescence();
+        let mu = sim.query_stats(unbounded).unwrap().messages;
+        let mb = sim.query_stats(bounded).unwrap().messages;
+        assert!(sim.query_stats(bounded).unwrap().reported >= 10);
+        assert!(mb * 3 < mu, "σ=10 used {mb} msgs vs {mu} unbounded");
+    }
+
+    #[test]
+    fn kill_fraction_counts() {
+        let s = space();
+        let mut sim = SimCluster::new(s, SimConfig::fast_static(), 3);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 200);
+        let died = sim.kill_fraction(0.5);
+        assert_eq!(died, 100);
+        assert_eq!(sim.len(), 100);
+    }
+
+    #[test]
+    fn churn_preserves_population_and_refreshes_ids() {
+        let s = space();
+        let mut sim = SimCluster::new(s, SimConfig::default(), 4);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 100);
+        let before: std::collections::HashSet<NodeId> =
+            sim.node_ids().into_iter().collect();
+        sim.churn_step(0.1, &Placement::Uniform { lo: 0, hi: 80 });
+        assert_eq!(sim.len(), 100);
+        let after: std::collections::HashSet<NodeId> = sim.node_ids().into_iter().collect();
+        assert_eq!(after.difference(&before).count(), 10, "10 fresh identities");
+    }
+
+    #[test]
+    fn gossip_converges_routing_tables() {
+        let s = Space::uniform(2, 80, 2).unwrap();
+        let mut cfg = SimConfig {
+            latency: crate::LatencyModel::Constant { ms: 20 },
+            ..SimConfig::default()
+        };
+        cfg.gossip.period_ms = 1_000;
+        let mut sim = SimCluster::new(s.clone(), cfg, 5);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 60);
+        sim.run_until(40_000); // 40 gossip rounds
+        let q = Query::builder(&s).min("a0", 40).build().unwrap();
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q, None);
+        sim.run_until(sim.now() + 30_000);
+        let st = sim.query_stats(qid).unwrap();
+        assert!(
+            st.delivery() > 0.9,
+            "gossip-built routing reached only {:.2}", st.delivery()
+        );
+    }
+
+    #[test]
+    fn count_queries_report_exact_totals_cheaply() {
+        let s = space();
+        let mut sim = SimCluster::new(s.clone(), SimConfig::fast_static(), 8);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 400);
+        sim.wire_oracle();
+        let q = Query::builder(&s).min("a0", 40).build().unwrap();
+
+        let origin = sim.random_node();
+        let enumerate = sim.issue_query(origin, q.clone(), None);
+        sim.run_to_quiescence();
+        let full = sim.query_stats(enumerate).unwrap().reported;
+
+        let count = sim.issue_count_query(origin, q);
+        sim.run_to_quiescence();
+        let st = sim.query_stats(count).unwrap();
+        assert_eq!(st.reported, full, "count mode agrees with enumeration");
+        assert!(sim.query_result(count).unwrap().is_empty(), "no match lists");
+        assert_eq!(st.duplicates, 0);
+    }
+
+    #[test]
+    fn load_and_link_histograms_cover_all_nodes() {
+        let s = space();
+        let mut sim = SimCluster::new(s.clone(), SimConfig::fast_static(), 6);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 100);
+        sim.wire_oracle();
+        let q = Query::builder(&s).build().unwrap();
+        let origin = sim.random_node();
+        sim.issue_query(origin, q, None);
+        sim.run_to_quiescence();
+        assert_eq!(sim.load_histogram().len(), 100);
+        assert!(sim.load_histogram().max() > 0);
+        assert!(sim.link_histogram().mean() > 1.0);
+        sim.reset_load();
+        assert_eq!(sim.load_histogram().max(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+use std::cmp::Ordering;
+
+use autosel_core::Message;
+use autosel_core::NodeProfile;
+use epigossip::{GossipMessage, NodeId};
+
+/// A payload in flight between two nodes.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    Protocol(Message),
+    Gossip(GossipMessage<NodeProfile>),
+}
+
+/// A scheduled simulator event.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver `payload` from `from` to `to`.
+    Deliver { from: NodeId, to: NodeId, payload: Payload },
+    /// Let `node` initiate its periodic gossip (self-rescheduling).
+    GossipTick { node: NodeId },
+    /// Check `node`'s protocol timeouts.
+    PollTimeouts { node: NodeId },
+    /// Tell `node` that its send to `peer` failed (dead destination) — the
+    /// fail-fast transport feedback of a refused connection.
+    SendFailed { node: NodeId, peer: NodeId },
+}
+
+/// An event with its firing time and a tiebreaking sequence number so the
+/// queue is a total, deterministic order.
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub at: u64,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> ScheduledEvent {
+        ScheduledEvent { at, seq, kind: EventKind::PollTimeouts { node: 0 } }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_with_fifo_ties() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(5, 0));
+        h.push(ev(1, 2));
+        h.push(ev(1, 1));
+        h.push(ev(3, 3));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop().map(|e| (e.at, e.seq))).collect();
+        assert_eq!(order, vec![(1, 1), (1, 2), (3, 3), (5, 0)]);
+    }
+}

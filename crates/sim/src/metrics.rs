@@ -1,0 +1,189 @@
+use std::collections::HashSet;
+
+use epigossip::NodeId;
+
+/// Everything the paper's figures need to know about one query's execution.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Virtual time the query was issued.
+    pub issued_at: u64,
+    /// Number of nodes matching at issue time (alive ones).
+    pub truth: u32,
+    /// Matching nodes that actually received the QUERY message (plus the
+    /// origin if it matched) — the numerator of the paper's *delivery*.
+    pub matched_reached: HashSet<NodeId>,
+    /// QUERY deliveries to nodes that did **not** match — the paper's
+    /// *routing overhead* (§6: "hops traveled by a query through nodes that
+    /// did not match the query themselves").
+    pub overhead: u64,
+    /// Times any node received this query more than once (must be 0; §6).
+    pub duplicates: u64,
+    /// Total protocol messages (queries + replies) attributed to this query.
+    pub messages: u64,
+    /// Whether the originator observed completion.
+    pub completed: bool,
+    /// Virtual time the originator observed completion, if it did.
+    pub completed_at: Option<u64>,
+    /// Matches reported to the originator at completion.
+    pub reported: u32,
+    /// Every node that received the QUERY message (for duplicate detection).
+    pub(crate) receivers: HashSet<NodeId>,
+}
+
+impl QueryStats {
+    pub(crate) fn new(issued_at: u64, truth: u32) -> Self {
+        QueryStats {
+            issued_at,
+            truth,
+            matched_reached: HashSet::new(),
+            overhead: 0,
+            duplicates: 0,
+            messages: 0,
+            completed: false,
+            completed_at: None,
+            reported: 0,
+            receivers: HashSet::new(),
+        }
+    }
+
+    /// Wall-clock (virtual) time from issue to completion, if completed.
+    pub fn latency(&self) -> Option<u64> {
+        self.completed_at.map(|t| t.saturating_sub(self.issued_at))
+    }
+
+    /// Fraction of matching nodes reached in `[0,1]`; `1.0` when nothing
+    /// matched (vacuous delivery).
+    pub fn delivery(&self) -> f64 {
+        if self.truth == 0 {
+            1.0
+        } else {
+            self.matched_reached.len() as f64 / f64::from(self.truth)
+        }
+    }
+}
+
+/// A histogram over per-node values (message counts, link counts) —
+/// the shape of Figs. 9 and 10(b).
+#[derive(Debug, Clone)]
+pub struct LoadHistogram {
+    values: Vec<u64>,
+}
+
+impl LoadHistogram {
+    /// Wraps raw per-node values.
+    pub fn new(mut values: Vec<u64>) -> Self {
+        values.sort_unstable();
+        LoadHistogram { values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<u64>() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Buckets observations into `bins` ranges of `bin_width` and returns
+    /// the *percentage of nodes* per bin — the exact y-axis of Fig. 9.
+    /// The last bin absorbs the tail.
+    pub fn percent_per_bin(&self, bins: usize, bin_width: u64) -> Vec<f64> {
+        assert!(bins > 0 && bin_width > 0, "bins and width must be positive");
+        let mut counts = vec![0u64; bins];
+        for &v in &self.values {
+            let b = ((v / bin_width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        let n = self.values.len().max(1) as f64;
+        counts.into_iter().map(|c| 100.0 * c as f64 / n).collect()
+    }
+
+    /// Normalizes values to percent-of-max and bins them into ten 10%-wide
+    /// buckets — Fig. 9's "number of messages per node (%)" x-axis.
+    pub fn percent_of_max_deciles(&self) -> Vec<f64> {
+        let max = self.max().max(1);
+        let mut counts = [0u64; 10];
+        for &v in &self.values {
+            let pct = (v * 100) / max;
+            let bin = ((pct.saturating_sub(1)) / 10).min(9) as usize;
+            counts[bin] += 1;
+        }
+        let n = self.values.len().max(1) as f64;
+        counts.iter().map(|&c| 100.0 * c as f64 / n).collect()
+    }
+
+    /// The raw sorted values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_handles_empty_truth() {
+        let s = QueryStats::new(0, 0);
+        assert_eq!(s.delivery(), 1.0);
+        let mut s = QueryStats::new(0, 4);
+        s.matched_reached.insert(1);
+        s.matched_reached.insert(2);
+        assert_eq!(s.delivery(), 0.5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = LoadHistogram::new(vec![5, 1, 3, 1]);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn percent_per_bin_sums_to_100() {
+        let h = LoadHistogram::new((0..100).collect());
+        let bins = h.percent_per_bin(10, 10);
+        assert_eq!(bins.len(), 10);
+        assert!((bins.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((bins[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deciles_capture_tail() {
+        // One hot node, many cold ones: cold mass lands in the low deciles.
+        let mut v = vec![100u64];
+        v.extend(std::iter::repeat_n(5, 99));
+        let h = LoadHistogram::new(v);
+        let d = h.percent_of_max_deciles();
+        assert!((d[0] - 99.0).abs() < 1e-9, "{d:?}");
+        assert!((d[9] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+use rand::Rng;
+
+/// Per-message network behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ms` milliseconds.
+    Constant {
+        /// The fixed delay.
+        ms: u64,
+    },
+    /// Uniformly random delay in `[lo_ms, hi_ms]`.
+    Uniform {
+        /// Minimum delay.
+        lo_ms: u64,
+        /// Maximum delay (inclusive).
+        hi_ms: u64,
+    },
+    /// Uniform delay plus i.i.d. message loss — for stress tests beyond the
+    /// paper's drop-on-broken-link model.
+    Lossy {
+        /// Minimum delay.
+        lo_ms: u64,
+        /// Maximum delay (inclusive).
+        hi_ms: u64,
+        /// Probability in `[0,1]` that a message is silently dropped.
+        loss: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a delivery delay, or `None` if the message is lost.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        match *self {
+            LatencyModel::Constant { ms } => Some(ms),
+            LatencyModel::Uniform { lo_ms, hi_ms } => Some(rng.gen_range(lo_ms..=hi_ms)),
+            LatencyModel::Lossy { lo_ms, hi_ms, loss } => {
+                if rng.gen_bool(loss.clamp(0.0, 1.0)) {
+                    None
+                } else {
+                    Some(rng.gen_range(lo_ms..=hi_ms))
+                }
+            }
+        }
+    }
+
+    /// The delay when the model is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-constant models.
+    pub fn sample_fixed(&self) -> u64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            _ => panic!("latency model is not deterministic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform { lo_ms: 5, hi_ms: 9 };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let d = m.sample(&mut rng).unwrap();
+            assert!((5..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn lossy_drops_roughly_at_rate() {
+        let m = LatencyModel::Lossy { lo_ms: 1, hi_ms: 1, loss: 0.5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let lost = (0..2000).filter(|_| m.sample(&mut rng).is_none()).count();
+        assert!((800..1200).contains(&lost), "lost {lost}/2000");
+    }
+
+    #[test]
+    fn constant_is_fixed() {
+        assert_eq!(LatencyModel::Constant { ms: 7 }.sample_fixed(), 7);
+    }
+}

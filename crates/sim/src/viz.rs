@@ -1,0 +1,186 @@
+//! ASCII rendering of two-dimensional attribute spaces — a debugging aid
+//! that makes the paper's Figs. 1–3 reproducible on any population: cell
+//! occupancy, query footprints, and a node's neighboring-subcell links.
+//!
+//! Only meaningful for `d == 2`; higher-dimensional spaces have no faithful
+//! planar rendering and are rejected.
+
+use attrspace::{CellCoord, Point, Query, Space};
+
+/// Renders per-`C0`-cell occupancy counts as a grid. Dimension 0 runs
+/// left→right, dimension 1 top→bottom (like the paper's figures). Counts
+/// above 9 render as `+`; empty cells as `·`.
+///
+/// # Panics
+///
+/// Panics unless `space.dims() == 2`.
+pub fn render_occupancy(space: &Space, points: &[Point]) -> String {
+    assert_eq!(space.dims(), 2, "occupancy rendering requires d = 2");
+    let b = space.buckets_per_dim() as usize;
+    let mut counts = vec![vec![0u32; b]; b];
+    for p in points {
+        let c = space.cell_coord(p);
+        counts[c.indices()[1] as usize][c.indices()[0] as usize] += 1;
+    }
+    let mut out = String::with_capacity(b * (2 * b + 1));
+    for row in &counts {
+        for (i, &c) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push(match c {
+                0 => '·',
+                1..=9 => char::from(b'0' + c as u8),
+                _ => '+',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a query footprint over the population: `#` = in-footprint cell
+/// with occupants, `□` = in-footprint but empty, digits/`·` elsewhere as in
+/// [`render_occupancy`].
+///
+/// # Panics
+///
+/// Panics unless `space.dims() == 2`.
+pub fn render_query(space: &Space, query: &Query, points: &[Point]) -> String {
+    assert_eq!(space.dims(), 2, "query rendering requires d = 2");
+    let b = space.buckets_per_dim() as usize;
+    let mut counts = vec![vec![0u32; b]; b];
+    for p in points {
+        let c = space.cell_coord(p);
+        counts[c.indices()[1] as usize][c.indices()[0] as usize] += 1;
+    }
+    let region = query.region();
+    let mut out = String::new();
+    for (y, row) in counts.iter().enumerate() {
+        for (x, &c) in row.iter().enumerate() {
+            if x > 0 {
+                out.push(' ');
+            }
+            let inside = region.contains(&CellCoord::new(
+                vec![x as u32, y as u32],
+                space.max_level(),
+            ));
+            out.push(match (inside, c) {
+                (true, 0) => '□',
+                (true, _) => '#',
+                (false, 0) => '·',
+                (false, 1..=9) => char::from(b'0' + c as u8),
+                (false, _) => '+',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one node's neighboring subcells `N(l,k)` like the paper's
+/// Fig. 1(b): the node as `X`, each subcell labeled by its level digit, the
+/// node's own `C0` as `x`.
+///
+/// # Panics
+///
+/// Panics unless the coordinate is two-dimensional.
+pub fn render_neighborhoods(coord: &CellCoord) -> String {
+    assert_eq!(coord.dims(), 2, "neighborhood rendering requires d = 2");
+    let b = 1usize << coord.max_level();
+    let mut grid = vec![vec!['·'; b]; b];
+    for level in 1..=coord.max_level() {
+        for dim in 0..2 {
+            let region = coord.neighboring_cell(level, dim);
+            let label = char::from(b'0' + level);
+            let (x0, x1) = region.intervals()[0];
+            let (y0, y1) = region.intervals()[1];
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    grid[y as usize][x as usize] = label;
+                }
+            }
+        }
+    }
+    grid[coord.indices()[1] as usize][coord.indices()[0] as usize] = 'X';
+    let mut out = String::new();
+    for row in grid {
+        for (i, c) in row.into_iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attrspace::Query;
+
+    fn space() -> Space {
+        Space::uniform(2, 80, 3).unwrap()
+    }
+
+    fn pts(space: &Space, raw: &[[u64; 2]]) -> Vec<Point> {
+        raw.iter().map(|v| space.point(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn occupancy_places_counts() {
+        let s = space();
+        let points = pts(&s, &[[5, 5], [6, 3], [75, 75], [74, 74]]);
+        let grid = render_occupancy(&s, &points);
+        let rows: Vec<&str> = grid.lines().collect();
+        assert_eq!(rows.len(), 8);
+        // (5,5) and (6,3) share bucket (0,0) → '2' top-left.
+        assert_eq!(rows[0].chars().next(), Some('2'));
+        // two nodes at (74..75, 74..75) → bucket (7,7) bottom-right.
+        assert_eq!(rows[7].chars().last(), Some('2'));
+        assert!(grid.contains('·'));
+    }
+
+    #[test]
+    fn query_footprint_marks_cells() {
+        let s = space();
+        let points = pts(&s, &[[45, 45]]);
+        let q = Query::builder(&s).range("a0", 40, 49).range("a1", 40, 49).build().unwrap();
+        let grid = render_query(&s, &q, &points);
+        assert!(grid.contains('#'), "occupied footprint cell");
+        assert!(!grid.contains('□'), "footprint is a single occupied cell");
+        let q2 = Query::builder(&s).range("a0", 40, 59).range("a1", 40, 59).build().unwrap();
+        let grid2 = render_query(&s, &q2, &points);
+        assert!(grid2.contains('□'), "wider footprint has empty cells");
+    }
+
+    #[test]
+    fn neighborhoods_match_figure_1b() {
+        let s = space();
+        let coord = s.cell_coord(&s.point(&[15, 15]).unwrap()); // bucket (1,1)
+        let grid = render_neighborhoods(&coord);
+        let rows: Vec<Vec<char>> = grid
+            .lines()
+            .map(|l| l.split(' ').map(|t| t.chars().next().unwrap()).collect())
+            .collect();
+        assert_eq!(rows[1][1], 'X');
+        // Level-1 subcells adjoin X: (0,1) and (1,0).
+        assert_eq!(rows[1][0], '1');
+        assert_eq!(rows[0][1], '1');
+        // Level-3 half-planes: right half and bottom half.
+        assert_eq!(rows[0][7], '3');
+        assert_eq!(rows[7][0], '3');
+        // Level-2 blocks: columns 2–3 (same rows 0–3) and rows 2–3.
+        assert_eq!(rows[0][2], '2');
+        assert_eq!(rows[2][0], '2');
+    }
+
+    #[test]
+    #[should_panic(expected = "d = 2")]
+    fn high_dimensions_rejected() {
+        let s = Space::uniform(3, 80, 2).unwrap();
+        let _ = render_occupancy(&s, &[]);
+    }
+}

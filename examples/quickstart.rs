@@ -1,0 +1,59 @@
+//! Quickstart: stand up a simulated 2 000-node utility-computing
+//! infrastructure, ask for 25 machines matching a multi-attribute query,
+//! and print what comes back.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use autosel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five attributes — think cores, MHz, RAM, disk, bandwidth — each
+    // bucketed into 8 ranges (nesting depth 3), the paper's Table-1 setup.
+    let space = Space::builder()
+        .max_level(3)
+        .uniform_dimension("cores", 0, 80)
+        .uniform_dimension("mhz", 0, 80)
+        .uniform_dimension("ram", 0, 80)
+        .uniform_dimension("disk", 0, 80)
+        .uniform_dimension("bw", 0, 80)
+        .build()?;
+
+    // A population of 2 000 self-representing nodes with converged routing
+    // tables (no central registry exists anywhere in this system).
+    let mut cluster = SimCluster::new(space.clone(), SimConfig::fast_static(), 7);
+    cluster.populate(&Placement::Uniform { lo: 0, hi: 80 }, 2_000);
+    cluster.wire_oracle();
+
+    // "I need 25 machines with plenty of RAM, a decent clock, and at least
+    // mid-range bandwidth" — a conjunction of (attribute, range) pairs.
+    let query = Query::builder(&space)
+        .min("ram", 50)
+        .min("mhz", 30)
+        .range("bw", 40, 79)
+        .build()?;
+    println!("query: {query}");
+
+    // Queries can be issued at *any* node; there is no designated entry.
+    let origin = cluster.random_node();
+    let qid = cluster.issue_query(origin, query, Some(25));
+    cluster.run_to_quiescence();
+
+    let matches = cluster.query_result(qid).expect("query completed");
+    let stats = cluster.query_stats(qid).expect("stats recorded");
+    println!(
+        "found {} machines (σ = 25, {} total candidates) in {} messages, \
+         {} overhead hops, {} duplicate deliveries",
+        matches.len(),
+        stats.truth,
+        stats.messages,
+        stats.overhead,
+        stats.duplicates,
+    );
+    for m in matches.iter().take(10) {
+        println!("  node {:>5}  attrs {}", m.node, m.values);
+    }
+    if matches.len() > 10 {
+        println!("  … and {} more", matches.len() - 10);
+    }
+    Ok(())
+}
