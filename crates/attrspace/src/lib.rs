@@ -15,7 +15,7 @@
 //!   `Q(q)` that a job demarcates.
 //!
 //! The crate is deliberately free of networking, randomness and I/O: the routing
-//! protocol (`autosel-core`), the simulator and the tokio runtime all share it.
+//! protocol (`autosel-core`), the simulator and the network runtime all share it.
 //!
 //! ## Example
 //!

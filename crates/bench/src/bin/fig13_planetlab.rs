@@ -1,11 +1,11 @@
-//! **Figure 13** — repeated decimation on a *live* deployment: 302 tokio
+//! **Figure 13** — repeated decimation on a *live* deployment: 302 threaded
 //! peers (the paper's PlanetLab population), 10% killed per wave without
 //! replacement, delivery probed throughout.
 //!
 //! Paper: each kill dips delivery; gossip restores near-optimal delivery
 //! before the next wave, on a shrinking network.
 //!
-//! The run uses the in-memory transport with injected latency (real tasks,
+//! The run uses the in-memory transport with injected latency (real threads,
 //! real timers, real interleavings); `--tcp` switches to real loopback
 //! sockets with a reduced population.
 
@@ -27,13 +27,12 @@ fn points(space: &Space, n: usize, seed: u64) -> Vec<Point> {
         .collect()
 }
 
-#[tokio::main(flavor = "multi_thread", worker_threads = 2)]
-async fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tcp = std::env::args().any(|a| a == "--tcp");
     let n = if tcp { 48 } else { 302 };
     bench::print_table1(n);
     println!(
-        "# Figure 13: live decimation, {n} tokio peers ({}), kill 10% per wave",
+        "# Figure 13: live decimation, {n} threaded peers ({}), kill 10% per wave",
         if tcp { "TCP loopback" } else { "in-memory transport" }
     );
 
@@ -48,10 +47,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Transport::mem(cfg.injected_latency_ms)
     };
-    let mut cluster = NetCluster::spawn(space.clone(), points(&space, n, 3), cfg, transport, 13).await?;
+    let mut cluster = NetCluster::spawn(space.clone(), points(&space, n, 3), cfg, transport, 13)?;
 
     // Convergence: ~60 gossip rounds.
-    tokio::time::sleep(Duration::from_secs(3)).await;
+    std::thread::sleep(Duration::from_secs(3));
 
     println!("{:>6}  {:>6}  {:>8}", "wave", "alive", "delivery");
     let query = Query::builder(&space).min("a0", 20).build()?;
@@ -59,15 +58,15 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         if wave > 0 {
             cluster.kill_fraction(0.10);
             // Recovery window before probing (~40 rounds).
-            tokio::time::sleep(Duration::from_secs(2)).await;
+            std::thread::sleep(Duration::from_secs(2));
         }
         let origin = cluster.random_node();
         let outcome = cluster
             .query(origin, query.clone(), None, Duration::from_secs(60))
-            .await
+            
             .expect("probe completes");
         println!("{:>6}  {:>6}  {:>8.3}", wave, cluster.len(), outcome.delivery());
     }
-    cluster.shutdown().await;
+    cluster.shutdown();
     Ok(())
 }

@@ -417,7 +417,7 @@ pub fn fig12(n: usize, fraction: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f6
 
 /// **Figure 13** — PlanetLab-style repeated decimation *in the simulator*:
 /// 10% of the network is killed every `wave_interval_s` without replacement.
-/// Returns `(time s, delivery)` probes. (The live tokio rendition is in
+/// Returns `(time s, delivery)` probes. (The live threaded rendition is in
 /// `fig13_planetlab.rs`, which drives `autosel-net`.)
 pub fn fig13_sim(n: usize, waves: usize, wave_interval_s: u64, seed: u64) -> Vec<(u64, f64)> {
     let space = Space::uniform(5, 80, 3).expect("space");

@@ -22,7 +22,7 @@
 //! Everything is **sans-IO**: [`SelectionNode::handle_message`] consumes a
 //! message and a timestamp and returns [`Output`]s (messages to transmit,
 //! completions, failure suspicions). The discrete-event simulator
-//! (`overlay-sim`) and the tokio deployment runtime (`autosel-net`) drive the
+//! (`overlay-sim`) and the deployment runtime (`autosel-net`) drive the
 //! same state machine byte-for-byte.
 //!
 //! ## Example: three nodes, oracle-wired, one query

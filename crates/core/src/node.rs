@@ -132,6 +132,7 @@ pub struct SelectionNode {
     config: ProtocolConfig,
     seq: u32,
     duplicate_receipts: u64,
+    timeouts_fired: u64,
 }
 
 impl SelectionNode {
@@ -156,6 +157,7 @@ impl SelectionNode {
             config,
             seq: 0,
             duplicate_receipts: 0,
+            timeouts_fired: 0,
         }
     }
 
@@ -203,6 +205,30 @@ impl SelectionNode {
     /// Number of queries currently in flight through this node.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of `T(q)` expirations this node has fired (each is one
+    /// neighbor presumed dead and skipped). Drivers use this to tell
+    /// timeout-driven recovery apart from clean traversals.
+    pub fn timeouts_fired(&self) -> u64 {
+        self.timeouts_fired
+    }
+
+    /// The upstream (`reply_to`) edge of every in-flight query; `None`
+    /// marks queries this node originated. An external checker can stitch
+    /// these per-query edges together cluster-wide and assert the reply
+    /// routing forms a forest (acyclic, rooted at originators).
+    pub fn pending_upstreams(&self) -> Vec<(QueryId, Option<NodeId>)> {
+        self.pending.iter().map(|(&q, p)| (q, p.reply_to)).collect()
+    }
+
+    /// Peers this node is still waiting on for query `id`, with their reply
+    /// deadlines. Empty when the query is unknown or fully answered.
+    pub fn waiting_on(&self, id: QueryId) -> Vec<(NodeId, u64)> {
+        self.pending
+            .get(&id)
+            .map(|p| p.waiting.iter().map(|(&n, &d)| (n, d)).collect())
+            .unwrap_or_default()
     }
 
     /// Changes this node's attribute values. The routing table is rebuilt
@@ -349,6 +375,7 @@ impl SelectionNode {
             }
             for peer in expired {
                 p.waiting.remove(&peer);
+                self.timeouts_fired += 1;
                 self.routing.remove(peer);
                 out.push(Output::NeighborFailed(peer));
             }
@@ -837,5 +864,81 @@ mod tests {
         });
         let matches = completed.expect("query concluded");
         assert_eq!(matches.iter().filter(|m| m.node == 2).count(), 1);
+    }
+
+    /// The §4.1 epidemic relay: leaf receivers re-forward to same-`C0`
+    /// mates the sender did not know. Four nodes share one `C0` cell but
+    /// each knows only its ring successor (A→B→C→D→A), so full coverage
+    /// *requires* relaying — and D's link back to A is exactly the edge
+    /// that would re-deliver the query if the message's `visited_zero` set
+    /// did not suppress it.
+    #[test]
+    fn c0_relay_covers_the_cell_without_duplicate_deliveries() {
+        use std::collections::VecDeque;
+
+        let s = Space::uniform(1, 80, 1).unwrap();
+        let run = |c0_relay: bool| -> (Vec<NodeId>, HashMap<NodeId, u32>, u64) {
+            let cfg = ProtocolConfig { c0_relay, ..ProtocolConfig::default() };
+            let mut nodes: HashMap<NodeId, SelectionNode> = (0..4)
+                .map(|id| {
+                    (id, SelectionNode::new(id, &s, s.point(&[id + 1]).unwrap(), cfg.clone()))
+                })
+                .collect();
+            for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+                let p = nodes[&b].point().clone();
+                nodes.get_mut(&a).unwrap().routing_mut().observe(b, p);
+            }
+            let q = Query::builder(&s).range("a0", 0, 39).build().unwrap();
+            let (_, outs) = nodes.get_mut(&0).unwrap().begin_query(q, None, 0);
+
+            let mut receipts: HashMap<NodeId, u32> = HashMap::new();
+            let mut inbox: VecDeque<(NodeId, NodeId, Message)> = VecDeque::new();
+            let mut completed: Option<Vec<Match>> = None;
+            let absorb = |from: NodeId,
+                          outs: Vec<Output>,
+                          inbox: &mut VecDeque<(NodeId, NodeId, Message)>,
+                          completed: &mut Option<Vec<Match>>| {
+                for o in outs {
+                    match o {
+                        Output::Send { to, msg } => inbox.push_back((from, to, msg)),
+                        Output::Completed { matches, .. } => *completed = Some(matches),
+                        Output::NeighborFailed(_) => panic!("all nodes alive"),
+                    }
+                }
+            };
+            absorb(0, outs, &mut inbox, &mut completed);
+            let mut now = 1;
+            while let Some((from, to, msg)) = inbox.pop_front() {
+                if matches!(msg, Message::Query(_)) {
+                    *receipts.entry(to).or_insert(0) += 1;
+                }
+                let outs = nodes.get_mut(&to).unwrap().handle_message(from, msg, now);
+                now += 1;
+                absorb(to, outs, &mut inbox, &mut completed);
+            }
+            let mut got: Vec<NodeId> =
+                completed.expect("concluded").iter().map(|m| m.node).collect();
+            got.sort_unstable();
+            let dups = nodes.values().map(|n| n.duplicate_receipts()).sum();
+            for n in nodes.values() {
+                assert_eq!(n.pending_len(), 0, "no residual state");
+            }
+            (got, receipts, dups)
+        };
+
+        // Without the relay, A's leaf fan-out stops at its only known mate.
+        let (reached_off, _, _) = run(false);
+        assert_eq!(reached_off, vec![0, 1]);
+
+        // With it, the query percolates the whole cell…
+        let (reached_on, receipts, dups) = run(true);
+        assert_eq!(reached_on, vec![0, 1, 2, 3]);
+        // …and `visited_zero` suppresses the ring-closing edge D→A: every
+        // node received the query exactly once, none twice.
+        for (&node, &count) in &receipts {
+            assert_eq!(count, 1, "node {node} received {count} deliveries");
+        }
+        assert!(!receipts.contains_key(&0), "nothing re-delivered to the origin");
+        assert_eq!(dups, 0, "the dedup set left nothing for the seen-set to catch");
     }
 }

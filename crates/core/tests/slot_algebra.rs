@@ -1,0 +1,157 @@
+//! Property tests of the [`RoutingTable`] "slot algebra" (§4.1): for *any*
+//! observation history over *any* space shape,
+//!
+//! * at most one chosen neighbor `n(l,k)` exists per neighboring subcell
+//!   `N(l,k)` — the `d × max(l)` slot bound that keeps per-node state
+//!   linear in the number of dimensions;
+//! * every filled slot's occupant actually lies in the `N(l,k)` it was
+//!   filed under;
+//! * the `neighborsZero` set never contains a node outside the owner's own
+//!   `C0` cell (nor the owner itself filed as its own neighbor's peer id —
+//!   ids are free, but the coordinate constraint must hold).
+//!
+//! These hold by construction of `observe`/`rebuild`/`set_neighbor`; the
+//! point of the suite is that no *sequence* of observations, removals and
+//! rebuilds can break them.
+
+use attrspace::{Neighborhood, Space};
+use autosel_core::RoutingTable;
+use epigossip::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts the full slot algebra on a table.
+fn assert_slot_algebra(t: &RoutingTable) {
+    let space = t.space();
+    let own = t.own_coord();
+    let bound = space.dims() * space.max_level() as usize;
+
+    assert!(t.slot_count() <= bound, "slot bound d*max(l) = {bound} exceeded");
+    assert_eq!(t.link_count(), t.slot_count() + t.zero_count());
+
+    // Each filled slot is occupied by a node genuinely inside N(l,k), and
+    // no (l,k) appears twice (filled_slots enumerates distinct indices, so
+    // duplicates would show as a count mismatch).
+    let mut seen = std::collections::HashSet::new();
+    for (level, dim, entry) in t.filled_slots() {
+        assert!(seen.insert((level, dim)), "two occupants for N({level},{dim})");
+        assert_eq!(
+            own.classify(&entry.coord),
+            Neighborhood::Cell { level, dim },
+            "slot ({level},{dim}) holds a node from the wrong subcell"
+        );
+    }
+    assert_eq!(seen.len(), t.slot_count());
+
+    // The zero set stays within the owner's own C0 cell.
+    for entry in t.zero_neighbors() {
+        assert!(
+            entry.coord.same_cell(own, 0),
+            "neighborsZero contains {:?}, outside own C0 {:?}",
+            entry.coord,
+            own
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observing arbitrary peers in arbitrary order preserves the algebra,
+    /// and removals never leave a stale reference behind.
+    #[test]
+    fn observe_and_remove_preserve_slot_algebra(
+        d in 1usize..5,
+        max_level in 1u8..4,
+        own_vals in prop::collection::vec(0u64..80, 4),
+        peers in prop::collection::vec((0u64..1000, prop::collection::vec(0u64..80, 4)), 0..60),
+        remove_every in 1usize..5,
+    ) {
+        let space = Space::uniform(d, 80, max_level).unwrap();
+        let own_point = space.point(&own_vals[..d]).unwrap();
+        let own = space.cell_coord(&own_point);
+        let mut t = RoutingTable::new(space.clone(), own);
+
+        for (i, (id, vals)) in peers.iter().enumerate() {
+            t.observe(*id as NodeId, space.point(&vals[..d]).unwrap());
+            assert_slot_algebra(&t);
+            if i % remove_every == 0 {
+                t.remove(*id as NodeId);
+                assert_slot_algebra(&t);
+                prop_assert!(
+                    t.filled_slots().all(|(_, _, e)| e.id != *id as NodeId),
+                    "removed id still holds a slot"
+                );
+                prop_assert!(t.zero_neighbors().all(|e| e.id != *id as NodeId));
+            }
+        }
+    }
+
+    /// `rebuild` from an arbitrary candidate set lands every candidate in
+    /// the right place (or drops it), keeps current holders when still
+    /// offered, and leaves the algebra intact; `clear` empties everything.
+    #[test]
+    fn rebuild_preserves_slot_algebra_and_stability(
+        d in 1usize..4,
+        max_level in 1u8..4,
+        own_vals in prop::collection::vec(0u64..80, 3),
+        first in prop::collection::vec((0u64..500, prop::collection::vec(0u64..80, 3)), 0..40),
+        second in prop::collection::vec((0u64..500, prop::collection::vec(0u64..80, 3)), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let space = Space::uniform(d, 80, max_level).unwrap();
+        let own_point = space.point(&own_vals[..d]).unwrap();
+        let own = space.cell_coord(&own_point);
+        let mut t = RoutingTable::new(space.clone(), own);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let to_entries = |set: &[(u64, Vec<u64>)]| -> Vec<(NodeId, attrspace::Point)> {
+            set.iter()
+                .map(|(id, vals)| (*id as NodeId, space.point(&vals[..d]).unwrap()))
+                .collect()
+        };
+
+        t.rebuild(to_entries(&first), &mut rng);
+        assert_slot_algebra(&t);
+        // Every same-C0 candidate must be in the zero set (no candidate is
+        // silently dropped from its own cell) with last-write-wins points.
+        let own_coord = t.own_coord().clone();
+        let expected_zero: std::collections::HashSet<NodeId> = to_entries(&first)
+            .into_iter()
+            .filter(|(_, p)| space.cell_coord(p).same_cell(&own_coord, 0))
+            .map(|(id, _)| id)
+            .collect();
+        let got_zero: std::collections::HashSet<NodeId> =
+            t.zero_neighbors().map(|e| e.id).collect();
+        prop_assert_eq!(got_zero, expected_zero);
+
+        // Stability: a holder still offered in the second candidate set
+        // keeps its slot.
+        let held: Vec<(u8, usize, NodeId)> =
+            t.filled_slots().map(|(l, k, e)| (l, k, e.id)).collect();
+        t.rebuild(to_entries(&second), &mut rng);
+        assert_slot_algebra(&t);
+        for (l, k, id) in held {
+            if second.iter().any(|(sid, _)| *sid as NodeId == id) {
+                // The old holder is among the new candidates; it can only
+                // keep the slot if it still classifies there (same id may
+                // reappear at a different point).
+                if let Some(e) = t.neighbor(l, k) {
+                    let offered_same_place = to_entries(&second).iter().any(|(sid, p)| {
+                        *sid == id
+                            && t.own_coord().classify(&space.cell_coord(p))
+                                == Neighborhood::Cell { level: l, dim: k }
+                    });
+                    if offered_same_place {
+                        prop_assert_eq!(e.id, id, "stable holder evicted from N({},{})", l, k);
+                    }
+                }
+            }
+        }
+
+        t.clear();
+        prop_assert_eq!(t.link_count(), 0);
+        assert_slot_algebra(&t);
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! The whole crate is **sans-IO**: a [`GossipStack`] consumes
 //! `(now, message)` pairs and produces `(destination, message)` pairs. The
-//! discrete-event simulator and the tokio runtime drive the same code.
+//! discrete-event simulator and the network runtime drive the same code.
 //!
 //! [CYCLON]: https://doi.org/10.1007/s10922-005-4441-x
 //!

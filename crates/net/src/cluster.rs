@@ -1,23 +1,22 @@
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
 use autosel_core::Match;
 use epigossip::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tokio::sync::{mpsc, oneshot};
-use tokio::task::JoinHandle;
 
-use crate::peer::{Command, PeerCounters, PeerTask};
+use crate::peer::{Command, PeerCounters, PeerEvent, PeerTask};
 use crate::{NetConfig, Transport};
 
 struct PeerHandle {
-    commands: mpsc::UnboundedSender<Command>,
+    events: mpsc::Sender<PeerEvent>,
     counters: Arc<PeerCounters>,
     point: Point,
-    task: JoinHandle<()>,
+    thread: Option<JoinHandle<()>>,
 }
 
 /// The result of a cluster-issued query.
@@ -41,12 +40,12 @@ impl QueryOutcome {
     }
 }
 
-/// A live population of overlay nodes running on tokio.
+/// A live population of overlay nodes, one thread per node.
 ///
 /// Emulates the paper's DAS (in-memory transport) and PlanetLab
-/// ([`Transport::tcp`]) deployments. Every peer is an independent task; the
-/// cluster handle can issue queries at any node, kill nodes ungracefully,
-/// and read per-node traffic counters.
+/// ([`Transport::tcp`]) deployments. Every peer is an independent thread;
+/// the cluster handle can issue queries at any node, kill nodes
+/// ungracefully, and read per-node traffic counters.
 pub struct NetCluster {
     space: Space,
     transport: Transport,
@@ -75,7 +74,7 @@ impl NetCluster {
     /// # Panics
     ///
     /// Panics if `config` is invalid or `points` is empty.
-    pub async fn spawn(
+    pub fn spawn(
         space: Space,
         points: Vec<Point>,
         config: NetConfig,
@@ -84,11 +83,11 @@ impl NetCluster {
     ) -> std::io::Result<Self> {
         config.validate();
         assert!(!points.is_empty(), "cluster needs at least one node");
-        let started = tokio::time::Instant::now();
+        let started = Instant::now();
         let rng = StdRng::seed_from_u64(seed);
         let mut cluster = NetCluster { space, transport, peers: HashMap::new(), rng };
         for (i, point) in points.into_iter().enumerate() {
-            cluster.spawn_peer(i as NodeId, point, &config, started).await?;
+            cluster.spawn_peer(i as NodeId, point, &config, started)?;
         }
         // Bootstrap introductions (ids are known to the spawner only).
         let ids: Vec<NodeId> = {
@@ -102,24 +101,23 @@ impl NetCluster {
                 if other != id {
                     let point = cluster.peers[&other].point.clone();
                     let _ = cluster.peers[&id]
-                        .commands
-                        .send(Command::Introduce(other, point));
+                        .events
+                        .send(PeerEvent::Command(Command::Introduce(other, point)));
                 }
             }
         }
         Ok(cluster)
     }
 
-    async fn spawn_peer(
+    fn spawn_peer(
         &mut self,
         id: NodeId,
         point: Point,
         config: &NetConfig,
-        started: tokio::time::Instant,
+        started: Instant,
     ) -> std::io::Result<()> {
-        let (inbox_tx, inbox_rx) = mpsc::unbounded_channel();
-        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
-        self.transport.register(id, inbox_tx).await?;
+        let (events_tx, events_rx) = mpsc::channel();
+        self.transport.register(id, events_tx.clone())?;
         let counters = Arc::new(PeerCounters::default());
         let task = PeerTask::new(
             id,
@@ -127,14 +125,18 @@ impl NetCluster {
             point.clone(),
             config.clone(),
             self.transport.clone(),
-            inbox_rx,
-            cmd_rx,
+            events_rx,
+            events_tx.clone(),
             Arc::clone(&counters),
             started,
         );
-        let handle = tokio::spawn(task.run());
-        self.peers
-            .insert(id, PeerHandle { commands: cmd_tx, counters, point, task: handle });
+        let thread = std::thread::Builder::new()
+            .name(format!("autosel-net-peer-{id}"))
+            .spawn(move || task.run())?;
+        self.peers.insert(
+            id,
+            PeerHandle { events: events_tx, counters, point, thread: Some(thread) },
+        );
         Ok(())
     }
 
@@ -168,7 +170,7 @@ impl NetCluster {
 
     /// Issues `query` at `origin` and waits for completion (bounded by
     /// `timeout`). Returns `None` on timeout or if the origin died.
-    pub async fn query(
+    pub fn query(
         &mut self,
         origin: NodeId,
         query: Query,
@@ -180,41 +182,36 @@ impl NetCluster {
             .values()
             .filter(|p| query.matches(&p.point))
             .count();
-        let (tx, rx) = oneshot::channel();
+        let (tx, rx) = mpsc::channel();
         self.peers
             .get(&origin)?
-            .commands
-            .send(Command::BeginQuery { query, sigma, reply: tx })
+            .events
+            .send(PeerEvent::Command(Command::BeginQuery { query, sigma, reply: tx }))
             .ok()?;
-        let (_, matches) = tokio::time::timeout(timeout, rx).await.ok()?.ok()?;
+        let (_, matches) = rx.recv_timeout(timeout).ok()?;
         Some(QueryOutcome { matches, truth })
     }
 
     /// Runs a *count-only* query at `origin`: the answer is a single exact
     /// integer aggregated along the traversal tree (constant-size replies).
     /// Returns `None` on timeout or a dead origin.
-    pub async fn count(
-        &mut self,
-        origin: NodeId,
-        query: Query,
-        timeout: Duration,
-    ) -> Option<u64> {
-        let (tx, rx) = oneshot::channel();
+    pub fn count(&mut self, origin: NodeId, query: Query, timeout: Duration) -> Option<u64> {
+        let (tx, rx) = mpsc::channel();
         self.peers
             .get(&origin)?
-            .commands
-            .send(Command::BeginCount { query, reply: tx })
+            .events
+            .send(PeerEvent::Command(Command::BeginCount { query, reply: tx }))
             .ok()?;
-        tokio::time::timeout(timeout, rx).await.ok()?.ok()
+        rx.recv_timeout(timeout).ok()
     }
 
-    /// Kills `id` ungracefully: its task stops, its inbox unroutes, no
+    /// Kills `id` ungracefully: its thread stops, its inbox unroutes, no
     /// goodbye is gossiped.
     pub fn kill(&mut self, id: NodeId) {
         if let Some(p) = self.peers.remove(&id) {
-            let _ = p.commands.send(Command::Shutdown);
+            let _ = p.events.send(PeerEvent::Command(Command::Shutdown));
             self.transport.deregister(id);
-            drop(p.task); // detach; the task exits on the shutdown command
+            drop(p.thread); // detach; the thread exits on the shutdown command
         }
     }
 
@@ -253,19 +250,21 @@ impl NetCluster {
         self.peers.get(&id).map(|p| &p.point)
     }
 
-    /// Stops every peer and waits for their tasks to finish.
-    pub async fn shutdown(mut self) {
+    /// Stops every peer and waits for their threads to finish.
+    pub fn shutdown(mut self) {
         let ids = self.ids();
-        let mut tasks = Vec::new();
+        let mut threads = Vec::new();
         for id in ids {
-            if let Some(p) = self.peers.remove(&id) {
-                let _ = p.commands.send(Command::Shutdown);
+            if let Some(mut p) = self.peers.remove(&id) {
+                let _ = p.events.send(PeerEvent::Command(Command::Shutdown));
                 self.transport.deregister(id);
-                tasks.push(p.task);
+                if let Some(t) = p.thread.take() {
+                    threads.push(t);
+                }
             }
         }
-        for t in tasks {
-            let _ = t.await;
+        for t in threads {
+            let _ = t.join();
         }
     }
 }

@@ -2,15 +2,15 @@
 //!
 //! The paper validates its protocol beyond simulation: 1 000 emulated nodes
 //! on the DAS-3 cluster and 302 nodes on PlanetLab. This crate is the
-//! equivalent runtime, built on tokio:
+//! equivalent runtime, built on OS threads and blocking I/O:
 //!
-//! * every node is an independent task running the *same* sans-IO state
+//! * every node is an independent thread running the *same* sans-IO state
 //!   machines as the simulator ([`autosel_core::SelectionNode`] +
 //!   [`epigossip::GossipStack`]), with real timers, real queues and real
 //!   message interleavings;
-//! * two transports: [`Transport::Mem`] (in-process channels with optional
+//! * two transports: [`Transport::mem`] (in-process channels with optional
 //!   injected latency — the DAS emulation, where 20 processes per physical
-//!   host shared one cluster) and [`Transport::Tcp`] (real sockets over
+//!   host shared one cluster) and [`Transport::tcp`] (real sockets over
 //!   loopback with a length-prefixed binary codec — the PlanetLab role);
 //! * [`NetCluster`] — spawn a population, issue queries, kill nodes
 //!   ungracefully, and watch gossip repair the overlay, exactly like

@@ -1,17 +1,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
-use autosel_core::{
-    Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector,
-};
+use autosel_core::{Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector};
 use epigossip::{GossipMessage, GossipStack, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tokio::sync::{mpsc, oneshot};
 
-use crate::transport::Envelope;
 use crate::{NetConfig, Transport};
 
 /// A message on the wire: either the selection protocol or overlay gossip.
@@ -29,17 +26,29 @@ pub(crate) enum Command {
     BeginQuery {
         query: Query,
         sigma: Option<u32>,
-        reply: oneshot::Sender<(QueryId, Vec<Match>)>,
+        reply: mpsc::Sender<(QueryId, Vec<Match>)>,
     },
     BeginCount {
         query: Query,
-        reply: oneshot::Sender<u64>,
+        reply: mpsc::Sender<u64>,
     },
     Introduce(NodeId, Point),
     Shutdown,
 }
 
-/// Shared per-peer counters, readable from outside the task.
+/// Everything a peer's event loop reacts to, multiplexed on one channel so
+/// the loop is a single `recv_timeout` against its next timer deadline.
+#[derive(Debug)]
+pub(crate) enum PeerEvent {
+    /// A message arrived from `NodeId`.
+    Deliver(NodeId, NetMessage),
+    /// A control command from the cluster handle.
+    Command(Command),
+    /// Fail-fast feedback from the transport: this peer is unreachable.
+    Failed(NodeId),
+}
+
+/// Shared per-peer counters, readable from outside the thread.
 #[derive(Debug, Default)]
 pub(crate) struct PeerCounters {
     pub sent: AtomicU64,
@@ -51,31 +60,29 @@ pub(crate) struct PeerTask {
     selection: SelectionNode,
     gossip: GossipStack<NodeProfile>,
     transport: Transport,
-    inbox: mpsc::UnboundedReceiver<Envelope>,
-    commands: mpsc::UnboundedReceiver<Command>,
+    events: mpsc::Receiver<PeerEvent>,
+    /// Own sender, handed to the transport for fail-fast feedback.
+    events_tx: mpsc::Sender<PeerEvent>,
     config: NetConfig,
     counters: Arc<PeerCounters>,
-    started: tokio::time::Instant,
+    started: Instant,
     rng: SmallRng,
-    pending_queries: HashMap<QueryId, oneshot::Sender<(QueryId, Vec<Match>)>>,
-    pending_counts: HashMap<QueryId, oneshot::Sender<u64>>,
-    /// Fail-fast feedback from the transport: peers that refused a send.
-    failures_tx: mpsc::UnboundedSender<NodeId>,
-    failures_rx: mpsc::UnboundedReceiver<NodeId>,
+    pending_queries: HashMap<QueryId, mpsc::Sender<(QueryId, Vec<Match>)>>,
+    pending_counts: HashMap<QueryId, mpsc::Sender<u64>>,
 }
 
 impl PeerTask {
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // internal constructor, one call site
     pub(crate) fn new(
         id: NodeId,
         space: &Space,
         point: Point,
         config: NetConfig,
         transport: Transport,
-        inbox: mpsc::UnboundedReceiver<Envelope>,
-        commands: mpsc::UnboundedReceiver<Command>,
+        events: mpsc::Receiver<PeerEvent>,
+        events_tx: mpsc::Sender<PeerEvent>,
         counters: Arc<PeerCounters>,
-        started: tokio::time::Instant,
+        started: Instant,
     ) -> Self {
         let selection = SelectionNode::new(id, space, point, config.protocol.clone());
         let gossip = GossipStack::new(
@@ -84,22 +91,19 @@ impl PeerTask {
             config.gossip.clone(),
             SlotSelector::default(),
         );
-        let (failures_tx, failures_rx) = mpsc::unbounded_channel();
         PeerTask {
             id,
             selection,
             gossip,
             transport,
-            inbox,
-            commands,
+            events,
+            events_tx,
             config,
             counters,
             started,
             rng: SmallRng::seed_from_u64(id ^ 0xA5A5_5A5A_DEAD_BEEF),
             pending_queries: HashMap::new(),
             pending_counts: HashMap::new(),
-            failures_tx,
-            failures_rx,
         }
     }
 
@@ -109,7 +113,7 @@ impl PeerTask {
 
     fn send(&self, to: NodeId, msg: NetMessage) {
         self.counters.sent.fetch_add(1, Ordering::Relaxed);
-        self.transport.send(self.id, to, msg, &self.failures_tx);
+        self.transport.send(self.id, to, msg, &self.events_tx);
     }
 
     fn apply_outputs(&mut self, outputs: Vec<Output>) {
@@ -182,42 +186,46 @@ impl PeerTask {
         }
     }
 
-    /// The peer's main loop; returns when shut down.
-    pub(crate) async fn run(mut self) {
-        let mut gossip_timer =
-            tokio::time::interval(std::time::Duration::from_millis(self.config.gossip.period_ms));
-        gossip_timer.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
-        let mut poll_timer =
-            tokio::time::interval(std::time::Duration::from_millis(self.config.poll_interval_ms));
-        poll_timer.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+    /// The peer's main loop; returns when shut down. Timers (gossip period,
+    /// timeout polling) are expressed as deadlines the event `recv_timeout`
+    /// is bounded by, with missed ticks delayed rather than bursted.
+    pub(crate) fn run(mut self) {
+        let gossip_period = Duration::from_millis(self.config.gossip.period_ms);
+        let poll_period = Duration::from_millis(self.config.poll_interval_ms);
+        let mut next_gossip = Instant::now() + gossip_period;
+        let mut next_poll = Instant::now() + poll_period;
         loop {
-            tokio::select! {
-                env = self.inbox.recv() => match env {
-                    Some((from, msg)) => self.handle_envelope(from, msg),
-                    None => break,
-                },
-                cmd = self.commands.recv() => match cmd {
-                    Some(c) => {
-                        if !self.handle_command(c) {
-                            break;
-                        }
+            let now = Instant::now();
+            if now >= next_gossip {
+                self.do_gossip();
+                next_gossip = Instant::now() + gossip_period;
+                continue;
+            }
+            if now >= next_poll {
+                let t = self.now();
+                let outputs = self.selection.poll_timeouts(t);
+                self.apply_outputs(outputs);
+                next_poll = Instant::now() + poll_period;
+                continue;
+            }
+            let wait = next_gossip.min(next_poll) - now;
+            match self.events.recv_timeout(wait) {
+                Ok(PeerEvent::Deliver(from, msg)) => self.handle_envelope(from, msg),
+                Ok(PeerEvent::Command(cmd)) => {
+                    if !self.handle_command(cmd) {
+                        break;
                     }
-                    None => break,
-                },
-                _ = gossip_timer.tick() => self.do_gossip(),
-                _ = poll_timer.tick() => {
-                    let now = self.now();
-                    let outputs = self.selection.poll_timeouts(now);
-                    self.apply_outputs(outputs);
                 }
-                Some(peer) = self.failures_rx.recv() => {
+                Ok(PeerEvent::Failed(peer)) => {
                     // Transport said `peer` is gone: skip its subtrees now
                     // and stop gossiping with it.
                     self.gossip.evict(peer);
-                    let now = self.now();
-                    let outputs = self.selection.peer_unreachable(peer, now);
+                    let t = self.now();
+                    let outputs = self.selection.peer_unreachable(peer, t);
                     self.apply_outputs(outputs);
                 }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
         self.transport.deregister(self.id);

@@ -1,38 +1,123 @@
-use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use attrspace::Space;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use epigossip::NodeId;
-use parking_lot::RwLock;
-use rand::Rng;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::mpsc;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-use crate::peer::NetMessage;
-use crate::wire;
+use crate::peer::{NetMessage, PeerEvent};
 
-/// An envelope delivered to a peer's inbox.
-pub(crate) type Envelope = (NodeId, NetMessage);
+/// A delayed in-memory delivery awaiting its due time.
+struct DelayedSend {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: NetMessage,
+    tx: mpsc::Sender<PeerEvent>,
+    failures: mpsc::Sender<PeerEvent>,
+}
+
+impl PartialEq for DelayedSend {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedSend {}
+impl PartialOrd for DelayedSend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedSend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: earliest due first.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Single background thread draining latency-injected in-memory sends in
+/// due-time order, replacing a thread-per-message design.
+struct DelayLine {
+    queue: Mutex<(BinaryHeap<DelayedSend>, u64)>,
+    wake: Condvar,
+}
+
+impl DelayLine {
+    fn start() -> Arc<Self> {
+        let line = Arc::new(DelayLine {
+            queue: Mutex::new((BinaryHeap::new(), 0)),
+            wake: Condvar::new(),
+        });
+        let worker = Arc::clone(&line);
+        std::thread::Builder::new()
+            .name("autosel-net-delayline".into())
+            .spawn(move || worker.run())
+            .expect("spawn delay-line thread");
+        line
+    }
+
+    fn push(&self, item: DelayedSend) {
+        let mut q = self.queue.lock().unwrap();
+        q.0.push(item);
+        self.wake.notify_one();
+    }
+
+    fn run(&self) {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            while q.0.peek().is_some_and(|d| d.due <= now) {
+                let d = q.0.pop().unwrap();
+                drop(q);
+                if d.tx.send(PeerEvent::Deliver(d.from, d.msg)).is_err() {
+                    let _ = d.failures.send(PeerEvent::Failed(d.to));
+                }
+                q = self.queue.lock().unwrap();
+            }
+            let next_due = q.0.peek().map(|d| d.due);
+            q = match next_due {
+                Some(due) => self.wake.wait_timeout(q, due - now).unwrap().0,
+                None => self.wake.wait(q).unwrap(),
+            };
+        }
+    }
+}
 
 /// How peers exchange messages.
 ///
-/// Cloneable and shared by every peer task; destinations that have left the
-/// registry (killed nodes) silently swallow messages, exactly like the
+/// Cloneable and shared by every peer thread; destinations that have left
+/// the registry (killed nodes) silently swallow messages, exactly like the
 /// simulator's drop-on-dead semantics.
 #[derive(Clone)]
-pub enum Transport {
+pub struct Transport {
+    inner: Inner,
+}
+
+/// Transport internals, kept private so crate-internal channel types do not
+/// leak through the public `Transport` surface.
+#[derive(Clone)]
+enum Inner {
     /// In-process channels, optionally with injected uniform latency —
     /// the DAS-emulation transport.
     Mem {
-        /// Inbox senders per peer.
-        registry: Arc<RwLock<HashMap<NodeId, mpsc::UnboundedSender<Envelope>>>>,
+        /// Event senders per peer.
+        registry: Arc<RwLock<HashMap<NodeId, mpsc::Sender<PeerEvent>>>>,
         /// Injected latency range (ms), if any.
         latency_ms: Option<(u64, u64)>,
+        /// Shared delay thread serving latency injection.
+        delay: Arc<DelayLine>,
+        /// RNG for latency draws (seeded per transport).
+        rng: Arc<Mutex<SmallRng>>,
     },
-    /// Real TCP sockets with the [`wire`] codec — the PlanetLab transport.
+    /// Real TCP sockets with the [`wire`](crate::wire) codec — the
+    /// PlanetLab transport.
     Tcp {
         /// Listener addresses per peer.
         registry: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
@@ -43,15 +128,15 @@ pub enum Transport {
 
 impl std::fmt::Debug for Transport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Transport::Mem { registry, latency_ms } => f
+        match &self.inner {
+            Inner::Mem { registry, latency_ms, .. } => f
                 .debug_struct("Transport::Mem")
-                .field("peers", &registry.read().len())
+                .field("peers", &registry.read().unwrap().len())
                 .field("latency_ms", latency_ms)
                 .finish(),
-            Transport::Tcp { registry, .. } => f
+            Inner::Tcp { registry, .. } => f
                 .debug_struct("Transport::Tcp")
-                .field("peers", &registry.read().len())
+                .field("peers", &registry.read().unwrap().len())
                 .finish(),
         }
     }
@@ -60,45 +145,54 @@ impl std::fmt::Debug for Transport {
 impl Transport {
     /// Creates an empty in-memory transport.
     pub fn mem(latency_ms: Option<(u64, u64)>) -> Self {
-        Transport::Mem { registry: Arc::new(RwLock::new(HashMap::new())), latency_ms }
+        Transport {
+            inner: Inner::Mem {
+                registry: Arc::new(RwLock::new(HashMap::new())),
+                latency_ms,
+                delay: DelayLine::start(),
+                rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(0x7A51_A7E4))),
+            },
+        }
     }
 
     /// Creates an empty TCP transport decoding against `space`.
     pub fn tcp(space: Space) -> Self {
-        Transport::Tcp { registry: Arc::new(RwLock::new(HashMap::new())), space }
+        Transport { inner: Inner::Tcp { registry: Arc::new(RwLock::new(HashMap::new())), space } }
     }
 
-    /// Registers a peer: for Mem, wires its inbox sender; for TCP, binds a
-    /// loopback listener and spawns the accept loop feeding the inbox.
+    /// Registers a peer: for Mem, wires its event sender; for TCP, binds a
+    /// loopback listener and spawns the accept thread feeding the inbox.
     ///
     /// # Errors
     ///
     /// I/O errors from binding the TCP listener.
-    pub async fn register(
+    pub(crate) fn register(
         &self,
         id: NodeId,
-        inbox: mpsc::UnboundedSender<Envelope>,
+        inbox: mpsc::Sender<PeerEvent>,
     ) -> std::io::Result<()> {
-        match self {
-            Transport::Mem { registry, .. } => {
-                registry.write().insert(id, inbox);
+        match &self.inner {
+            Inner::Mem { registry, .. } => {
+                registry.write().unwrap().insert(id, inbox);
                 Ok(())
             }
-            Transport::Tcp { registry, space } => {
-                let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+            Inner::Tcp { registry, space } => {
+                let listener = TcpListener::bind(("127.0.0.1", 0))?;
                 let addr = listener.local_addr()?;
-                registry.write().insert(id, addr);
+                registry.write().unwrap().insert(id, addr);
                 let space = space.clone();
-                tokio::spawn(async move {
-                    loop {
-                        let Ok((stream, _)) = listener.accept().await else { break };
-                        let inbox = inbox.clone();
-                        let space = space.clone();
-                        tokio::spawn(async move {
-                            let _ = serve_conn(stream, space, inbox).await;
-                        });
-                    }
-                });
+                std::thread::Builder::new()
+                    .name(format!("autosel-net-accept-{id}"))
+                    .spawn(move || {
+                        loop {
+                            let Ok((stream, _)) = listener.accept() else { break };
+                            let inbox = inbox.clone();
+                            let space = space.clone();
+                            std::thread::spawn(move || {
+                                let _ = serve_conn(stream, space, inbox);
+                            });
+                        }
+                    })?;
                 Ok(())
             }
         }
@@ -107,69 +201,74 @@ impl Transport {
     /// Removes a peer from the registry; in-flight and future messages to it
     /// are dropped.
     pub fn deregister(&self, id: NodeId) {
-        match self {
-            Transport::Mem { registry, .. } => {
-                registry.write().remove(&id);
+        match &self.inner {
+            Inner::Mem { registry, .. } => {
+                registry.write().unwrap().remove(&id);
             }
-            Transport::Tcp { registry, .. } => {
-                registry.write().remove(&id);
+            Inner::Tcp { registry, .. } => {
+                registry.write().unwrap().remove(&id);
             }
         }
     }
 
     /// Sends `msg` from `from` to `to`. Unknown or dead destinations fail
-    /// fast: `to` is pushed on `failures` (the paper's deployments run on
+    /// fast: `to` is reported on `failures` (the paper's deployments run on
     /// TCP, where a dead endpoint refuses the connection immediately), so
     /// the sender can skip the broken link instead of waiting for `T(q)`.
-    pub fn send(
+    pub(crate) fn send(
         &self,
         from: NodeId,
         to: NodeId,
         msg: NetMessage,
-        failures: &mpsc::UnboundedSender<NodeId>,
+        failures: &mpsc::Sender<PeerEvent>,
     ) {
-        match self {
-            Transport::Mem { registry, latency_ms } => {
-                let Some(tx) = registry.read().get(&to).cloned() else {
-                    let _ = failures.send(to);
+        match &self.inner {
+            Inner::Mem { registry, latency_ms, delay, rng } => {
+                let Some(tx) = registry.read().unwrap().get(&to).cloned() else {
+                    let _ = failures.send(PeerEvent::Failed(to));
                     return;
                 };
                 match *latency_ms {
                     None => {
-                        if tx.send((from, msg)).is_err() {
-                            let _ = failures.send(to);
+                        if tx.send(PeerEvent::Deliver(from, msg)).is_err() {
+                            let _ = failures.send(PeerEvent::Failed(to));
                         }
                     }
                     Some((lo, hi)) => {
-                        let delay = rand::thread_rng().gen_range(lo..=hi);
-                        let failures = failures.clone();
-                        tokio::spawn(async move {
-                            tokio::time::sleep(std::time::Duration::from_millis(delay)).await;
-                            if tx.send((from, msg)).is_err() {
-                                let _ = failures.send(to);
-                            }
+                        let delay_ms = rng.lock().unwrap().gen_range(lo..=hi);
+                        let seq = {
+                            let mut q = delay.queue.lock().unwrap();
+                            q.1 += 1;
+                            q.1
+                        };
+                        delay.push(DelayedSend {
+                            due: Instant::now() + Duration::from_millis(delay_ms),
+                            seq,
+                            from,
+                            to,
+                            msg,
+                            tx,
+                            failures: failures.clone(),
                         });
                     }
                 }
             }
-            Transport::Tcp { registry, .. } => {
-                let Some(addr) = registry.read().get(&to).copied() else {
-                    let _ = failures.send(to);
+            Inner::Tcp { registry, .. } => {
+                let Some(addr) = registry.read().unwrap().get(&to).copied() else {
+                    let _ = failures.send(PeerEvent::Failed(to));
                     return;
                 };
                 let frame = frame(from, &msg);
                 let failures = failures.clone();
-                tokio::spawn(async move {
-                    match TcpStream::connect(addr).await {
-                        Ok(mut stream) => {
-                            if stream.write_all(&frame).await.is_err() {
-                                let _ = failures.send(to);
-                            }
-                            let _ = stream.shutdown().await;
+                std::thread::spawn(move || match TcpStream::connect(addr) {
+                    Ok(mut stream) => {
+                        if stream.write_all(&frame).is_err() {
+                            let _ = failures.send(PeerEvent::Failed(to));
                         }
-                        Err(_) => {
-                            let _ = failures.send(to);
-                        }
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                    }
+                    Err(_) => {
+                        let _ = failures.send(PeerEvent::Failed(to));
                     }
                 });
             }
@@ -178,16 +277,20 @@ impl Transport {
 
     /// Ids currently registered.
     pub fn peers(&self) -> Vec<NodeId> {
-        match self {
-            Transport::Mem { registry, .. } => registry.read().keys().copied().collect(),
-            Transport::Tcp { registry, .. } => registry.read().keys().copied().collect(),
+        match &self.inner {
+            Inner::Mem { registry, .. } => {
+                registry.read().unwrap().keys().copied().collect()
+            }
+            Inner::Tcp { registry, .. } => {
+                registry.read().unwrap().keys().copied().collect()
+            }
         }
     }
 }
 
 /// Frame layout: `[u32 len][u64 from][payload]`, len covers from+payload.
 fn frame(from: NodeId, msg: &NetMessage) -> Bytes {
-    let payload = wire::encode(msg);
+    let payload = crate::wire::encode(msg);
     let mut buf = BytesMut::with_capacity(12 + payload.len());
     buf.put_u32_le((8 + payload.len()) as u32);
     buf.put_u64_le(from);
@@ -195,15 +298,15 @@ fn frame(from: NodeId, msg: &NetMessage) -> Bytes {
     buf.freeze()
 }
 
-async fn serve_conn(
+fn serve_conn(
     mut stream: TcpStream,
     space: Space,
-    inbox: mpsc::UnboundedSender<Envelope>,
+    inbox: mpsc::Sender<PeerEvent>,
 ) -> std::io::Result<()> {
     loop {
         let mut len_buf = [0u8; 4];
-        match stream.read_exact(&mut len_buf).await {
-            Ok(_) => {}
+        match stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
             Err(_) => return Ok(()), // EOF between frames
         }
         let len = u32::from_le_bytes(len_buf) as usize;
@@ -211,11 +314,11 @@ async fn serve_conn(
             return Ok(()); // nonsense length: drop connection
         }
         let mut body = vec![0u8; len];
-        stream.read_exact(&mut body).await?;
+        stream.read_exact(&mut body)?;
         let mut body = Bytes::from(body);
         let from = body.get_u64_le();
-        if let Ok(msg) = wire::decode(&space, body) {
-            if inbox.send((from, msg)).is_err() {
+        if let Ok(msg) = crate::wire::decode(&space, body) {
+            if inbox.send(PeerEvent::Deliver(from, msg)).is_err() {
                 return Ok(()); // peer gone
             }
         }
@@ -241,45 +344,68 @@ mod tests {
         }))
     }
 
-    #[tokio::test]
-    async fn mem_transport_delivers() {
+    fn expect_delivery(
+        rx: &mpsc::Receiver<PeerEvent>,
+        timeout: Duration,
+    ) -> (NodeId, NetMessage) {
+        match rx.recv_timeout(timeout).expect("delivered") {
+            PeerEvent::Deliver(from, msg) => (from, msg),
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_transport_delivers() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::mem(None);
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        t.register(7, tx).await.unwrap();
-        let (ftx, _frx) = mpsc::unbounded_channel();
+        let (tx, rx) = mpsc::channel();
+        t.register(7, tx).unwrap();
+        let (ftx, _frx) = mpsc::channel();
         t.send(3, 7, sample_msg(&space), &ftx);
-        let (from, msg) = rx.recv().await.unwrap();
+        let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
         assert_eq!(from, 3);
         assert_eq!(msg, sample_msg(&space));
     }
 
-    #[tokio::test]
-    async fn mem_transport_drops_to_dead() {
+    #[test]
+    fn mem_transport_with_latency_delivers() {
+        let space = Space::uniform(2, 80, 3).unwrap();
+        let t = Transport::mem(Some((1, 3)));
+        let (tx, rx) = mpsc::channel();
+        t.register(7, tx).unwrap();
+        let (ftx, _frx) = mpsc::channel();
+        t.send(3, 7, sample_msg(&space), &ftx);
+        let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
+        assert_eq!(from, 3);
+        assert_eq!(msg, sample_msg(&space));
+    }
+
+    #[test]
+    fn mem_transport_drops_to_dead() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::mem(None);
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        t.register(7, tx).await.unwrap();
+        let (tx, rx) = mpsc::channel();
+        t.register(7, tx).unwrap();
         t.deregister(7);
-        let (ftx, mut frx) = mpsc::unbounded_channel();
+        let (ftx, frx) = mpsc::channel();
         t.send(3, 7, sample_msg(&space), &ftx);
         assert!(rx.try_recv().is_err());
-        assert_eq!(frx.try_recv(), Ok(7), "fail-fast feedback delivered");
+        match frx.try_recv().expect("fail-fast feedback delivered") {
+            PeerEvent::Failed(7) => {}
+            other => panic!("unexpected event: {other:?}"),
+        }
         assert!(t.peers().is_empty());
     }
 
-    #[tokio::test]
-    async fn tcp_transport_round_trips_frames() {
+    #[test]
+    fn tcp_transport_round_trips_frames() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::tcp(space.clone());
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        t.register(9, tx).await.unwrap();
-        let (ftx, _frx) = mpsc::unbounded_channel();
+        let (tx, rx) = mpsc::channel();
+        t.register(9, tx).unwrap();
+        let (ftx, _frx) = mpsc::channel();
         t.send(4, 9, sample_msg(&space), &ftx);
-        let (from, msg) = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
-            .await
-            .expect("timely")
-            .expect("delivered");
+        let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
         assert_eq!(from, 4);
         assert_eq!(msg, sample_msg(&space));
     }

@@ -1,4 +1,4 @@
-//! Live-runtime integration: real tokio tasks gossip an overlay into
+//! Live-runtime integration: real peer threads gossip an overlay into
 //! existence, answer multi-attribute queries, and survive ungraceful kills —
 //! the behaviours the paper demonstrated on DAS and PlanetLab.
 
@@ -12,19 +12,12 @@ use rand::{Rng, SeedableRng};
 /// Polls the cluster with `query` until delivery crosses `bar` or `tries`
 /// rounds elapse — debug builds on loaded CI boxes converge slowly, so the
 /// tests adapt instead of guessing a fixed warm-up sleep.
-async fn wait_for_delivery(
-    cluster: &mut NetCluster,
-    query: &Query,
-    bar: f64,
-    tries: u32,
-) -> f64 {
+fn wait_for_delivery(cluster: &mut NetCluster, query: &Query, bar: f64, tries: u32) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..tries {
-        tokio::time::sleep(Duration::from_millis(700)).await;
+        std::thread::sleep(Duration::from_millis(700));
         let origin = cluster.random_node();
-        if let Some(outcome) = cluster
-            .query(origin, query.clone(), None, Duration::from_secs(30))
-            .await
+        if let Some(outcome) = cluster.query(origin, query.clone(), None, Duration::from_secs(30))
         {
             best = best.max(outcome.delivery());
             if best >= bar {
@@ -58,8 +51,8 @@ fn fast_config() -> NetConfig {
     }
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn mem_cluster_converges_and_answers_queries() {
+#[test]
+fn mem_cluster_converges_and_answers_queries() {
     let space = Space::uniform(3, 80, 3).unwrap();
     let cfg = fast_config();
     let pts = points(&space, 80, 1);
@@ -70,60 +63,56 @@ async fn mem_cluster_converges_and_answers_queries() {
         Transport::mem(cfg.injected_latency_ms),
         7,
     )
-    .await
     .unwrap();
 
     let query = Query::builder(&space).min("a0", 40).build().unwrap();
-    let best = wait_for_delivery(&mut cluster, &query, 0.9, 15).await;
+    let best = wait_for_delivery(&mut cluster, &query, 0.9, 15);
     assert!(best > 0.9, "live overlay reached only {best:.2}");
-    cluster.shutdown().await;
+    cluster.shutdown();
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn sigma_queries_return_promptly_on_live_cluster() {
+#[test]
+fn sigma_queries_return_promptly_on_live_cluster() {
     let space = Space::uniform(3, 80, 3).unwrap();
     let cfg = fast_config();
     let pts = points(&space, 60, 2);
     let mut cluster =
         NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 3)
-            .await
             .unwrap();
-    tokio::time::sleep(Duration::from_millis(1_200)).await;
+    std::thread::sleep(Duration::from_millis(1_200));
 
     let query = Query::builder(&space).min("a0", 10).build().unwrap();
     let origin = cluster.random_node();
     let outcome = cluster
         .query(origin, query.clone(), Some(5), Duration::from_secs(20))
-        .await
         .expect("σ query completes");
     assert!(outcome.matches.len() >= 5);
     assert!(outcome.matches.iter().all(|m| query.matches(&m.values)));
-    cluster.shutdown().await;
+    cluster.shutdown();
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn overlay_survives_partial_kill_and_recovers() {
+#[test]
+fn overlay_survives_partial_kill_and_recovers() {
     let space = Space::uniform(2, 80, 3).unwrap();
     let cfg = fast_config();
     let pts = points(&space, 80, 3);
     let mut cluster =
         NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 11)
-            .await
             .unwrap();
-    tokio::time::sleep(Duration::from_millis(1_500)).await;
+    std::thread::sleep(Duration::from_millis(1_500));
 
     let victims = cluster.kill_fraction(0.3);
     assert!(!victims.is_empty());
 
     // Recovery: gossip evicts the dead and re-links.
     let query = Query::builder(&space).build().unwrap(); // match everyone alive
-    let best = wait_for_delivery(&mut cluster, &query, 0.85, 15).await;
+    let best = wait_for_delivery(&mut cluster, &query, 0.85, 15);
     assert!(best > 0.85, "after 30% kill, best delivery {best:.2}");
-    cluster.shutdown().await;
+    cluster.shutdown();
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn tcp_cluster_end_to_end() {
+#[test]
+fn tcp_cluster_end_to_end() {
     let space = Space::uniform(2, 80, 2).unwrap();
     let cfg = NetConfig {
         gossip: epigossip::GossipConfig { period_ms: 40, ..Default::default() },
@@ -131,38 +120,35 @@ async fn tcp_cluster_end_to_end() {
         ..fast_config()
     };
     let pts = points(&space, 16, 4);
-    let mut cluster = NetCluster::spawn(space.clone(), pts, cfg, Transport::tcp(space.clone()), 5)
-        .await
-        .unwrap();
+    let mut cluster =
+        NetCluster::spawn(space.clone(), pts, cfg, Transport::tcp(space.clone()), 5).unwrap();
     let query = Query::builder(&space).min("a0", 20).build().unwrap();
-    let best = wait_for_delivery(&mut cluster, &query, 0.75, 12).await;
+    let best = wait_for_delivery(&mut cluster, &query, 0.75, 12);
     assert!(best > 0.75, "tcp delivery {best:.2}");
     let traffic = cluster.traffic();
     assert!(traffic.values().all(|&(s, r)| s > 0 || r > 0), "all peers active");
-    cluster.shutdown().await;
+    cluster.shutdown();
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn count_queries_on_live_cluster() {
+#[test]
+fn count_queries_on_live_cluster() {
     let space = Space::uniform(3, 80, 3).unwrap();
     let cfg = fast_config();
     let pts = points(&space, 60, 6);
     let truth = pts.iter().filter(|p| p.values()[0] >= 40).count() as u64;
     let mut cluster =
         NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 9)
-            .await
             .unwrap();
     let query = Query::builder(&space).min("a0", 40).build().unwrap();
     // Converge first (reuse the adaptive helper), then count.
-    let _ = wait_for_delivery(&mut cluster, &query, 0.95, 15).await;
+    let _ = wait_for_delivery(&mut cluster, &query, 0.95, 15);
     let origin = cluster.random_node();
     let count = cluster
         .count(origin, query, Duration::from_secs(30))
-        .await
         .expect("count completes");
     assert!(
         count >= truth * 9 / 10 && count <= truth,
         "count {count} vs truth {truth}"
     );
-    cluster.shutdown().await;
+    cluster.shutdown();
 }

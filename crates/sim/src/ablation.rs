@@ -226,9 +226,9 @@ mod tests {
         let (space, points) = setup(400, 2);
         // A narrow query far from most nodes.
         let query = Query::builder(&space)
-            .min("a0", 70)
-            .min("a1", 70)
-            .min("a2", 70)
+            .min("a0", 60)
+            .min("a1", 60)
+            .min("a2", 60)
             .build()
             .unwrap();
         let s = greedy_coordinate_search(&space, &points, &query, 0);

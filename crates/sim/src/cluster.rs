@@ -10,6 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{EventKind, Payload, ScheduledEvent};
+use crate::faults::{FaultPlan, NodeEventKind};
+use crate::invariants::{InvariantChecker, InvariantViolation};
 use crate::metrics::LoadHistogram;
 use crate::{Placement, QueryStats, SimConfig};
 
@@ -40,6 +42,11 @@ pub struct SimCluster {
     completed: HashMap<QueryId, Vec<Match>>,
     /// Queries whose stats should be tracked (issue-time match snapshot).
     truth: HashMap<QueryId, Query>,
+    /// Installed fault plan; quiet by default.
+    faults: FaultPlan,
+    /// Crashed nodes remembered (id → attribute values) so a timed restart
+    /// can bring them back under the same identity.
+    crashed: HashMap<NodeId, Point>,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -68,7 +75,20 @@ impl SimCluster {
             queries: HashMap::new(),
             completed: HashMap::new(),
             truth: HashMap::new(),
+            faults: FaultPlan::new(),
+            crashed: HashMap::new(),
         }
+    }
+
+    /// Installs a [`FaultPlan`]: per-message faults apply to every message
+    /// sent from now on, and the plan's timed crash/restart events are
+    /// scheduled onto the event queue. Installing a plan replaces any
+    /// previous one (already-scheduled node events still fire).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for ev in plan.node_events() {
+            self.schedule(ev.at.max(self.now), EventKind::NodeFault { node: ev.node, kind: ev.kind });
+        }
+        self.faults = plan;
     }
 
     /// Current virtual time in milliseconds.
@@ -120,6 +140,13 @@ impl SimCluster {
     pub fn add_node(&mut self, point: Point) -> NodeId {
         let id = self.next_id;
         self.next_id += 1;
+        self.insert_node(id, point);
+        id
+    }
+
+    /// Inserts a node under a caller-chosen id (fresh joins allocate one,
+    /// restarts reuse the crashed identity).
+    fn insert_node(&mut self, id: NodeId, point: Point) {
         let selection = SelectionNode::new(id, &self.space, point, self.config.protocol.clone());
         let gossip = if self.config.gossip_enabled {
             let mut stack = GossipStack::new(
@@ -144,7 +171,6 @@ impl SimCluster {
             None
         };
         self.nodes.insert(id, SimNode { selection, gossip, sent: 0, received: 0 });
-        id
     }
 
     /// Adds `n` nodes drawn from `placement`.
@@ -225,6 +251,7 @@ impl SimCluster {
         self.queries.insert(qid, stats);
         self.truth.insert(qid, query);
         self.apply_outputs(origin, outputs);
+        self.schedule_timeout_poll(origin);
         qid
     }
 
@@ -252,6 +279,7 @@ impl SimCluster {
             node.selection
                 .begin_query_full(query.clone(), dynamic, sigma, self.now);
         let mut stats = QueryStats::new(self.now, truth);
+        stats.sigma = sigma;
         // The origin counts as reached if it matches (it "received" the
         // query by creating it).
         stats.receivers.insert(origin);
@@ -261,6 +289,7 @@ impl SimCluster {
         self.queries.insert(qid, stats);
         self.truth.insert(qid, query);
         self.apply_outputs(origin, outputs);
+        self.schedule_timeout_poll(origin);
         qid
     }
 
@@ -286,6 +315,32 @@ impl SimCluster {
     /// departure). In-flight messages to it are dropped on delivery.
     pub fn kill(&mut self, id: NodeId) {
         self.nodes.remove(&id);
+    }
+
+    /// Crashes `id`: like [`kill`](Self::kill), but the identity and
+    /// attribute values are remembered so [`restart`](Self::restart) can
+    /// bring the machine back. No-op if `id` is not alive.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(n) = self.nodes.remove(&id) {
+            self.crashed.insert(id, n.selection.point().clone());
+        }
+    }
+
+    /// Restarts a crashed node under its old identity and attribute values
+    /// with *empty* protocol state (pending queries and the duplicate-
+    /// suppression set died with the process). Returns whether a restart
+    /// happened (false if `id` was not crashed).
+    pub fn restart(&mut self, id: NodeId) -> bool {
+        let Some(point) = self.crashed.remove(&id) else { return false };
+        self.insert_node(id, point);
+        true
+    }
+
+    /// Ids of currently crashed (restartable) nodes, ascending.
+    pub fn crashed_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.crashed.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Kills a uniformly random fraction `f` of nodes at once (§6.7).
@@ -360,6 +415,36 @@ impl SimCluster {
         self.queries.values().map(|q| q.duplicates).sum()
     }
 
+    /// In-flight query records summed over all alive nodes — zero once
+    /// every query has drained (the leak metric of the invariant checker).
+    pub fn pending_total(&self) -> usize {
+        self.nodes.values().map(|n| n.selection.pending_len()).sum()
+    }
+
+    /// Total `T(q)` timeout expirations fired across all alive nodes —
+    /// how much of the traversal was rescued by timeouts rather than
+    /// replies (always zero on a fault-free static run).
+    pub fn timeouts_fired_total(&self) -> u64 {
+        self.nodes.values().map(|n| n.selection.timeouts_fired()).sum()
+    }
+
+    /// Ids of all tracked (issued and not forgotten) queries, ascending.
+    pub fn tracked_queries(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Iterates tracked query stats (internal: invariant checking).
+    pub(crate) fn queries_iter(&self) -> impl Iterator<Item = (&QueryId, &QueryStats)> {
+        self.queries.iter()
+    }
+
+    /// Iterates alive nodes' protocol state (internal: invariant checking).
+    pub(crate) fn selections_iter(&self) -> impl Iterator<Item = (&NodeId, &SelectionNode)> {
+        self.nodes.iter().map(|(id, n)| (id, &n.selection))
+    }
+
     /// Processes events until the queue is empty (static experiments) —
     /// queries run to completion, no gossip is pending.
     ///
@@ -392,6 +477,75 @@ impl SimCluster {
         self.now = self.now.max(t);
     }
 
+    /// [`run_to_quiescence`](Self::run_to_quiescence) with `checker`'s
+    /// step invariants asserted after *every* dispatched event and its
+    /// quiescence invariants (no leaked pending state, completion) at the
+    /// end.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found; the cluster is left at the
+    /// violating instant for post-mortem inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gossip is enabled (see
+    /// [`run_to_quiescence`](Self::run_to_quiescence)).
+    pub fn run_to_quiescence_checked(
+        &mut self,
+        checker: &mut InvariantChecker,
+    ) -> Result<(), InvariantViolation> {
+        assert!(
+            !self.config.gossip_enabled,
+            "gossip keeps the queue non-empty; use run_until_checked"
+        );
+        while let Some(ev) = self.queue.pop() {
+            self.now = self.now.max(ev.at);
+            self.dispatch(ev.kind);
+            checker.check_step(self)?;
+        }
+        checker.check_quiescent(self)
+    }
+
+    /// [`run_until`](Self::run_until) with `checker`'s step invariants
+    /// asserted after every dispatched event (quiescence invariants are
+    /// *not* checked — the queue is generally non-empty at `t`).
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    pub fn run_until_checked(
+        &mut self,
+        t: u64,
+        checker: &mut InvariantChecker,
+    ) -> Result<(), InvariantViolation> {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = self.now.max(ev.at);
+            self.dispatch(ev.kind);
+            checker.check_step(self)?;
+        }
+        self.now = self.now.max(t);
+        checker.check_step(self)
+    }
+
+    /// Runs `checker`'s step invariants against the current state — the
+    /// hook for drivers that interleave their own mutations between run
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    pub fn check_invariants(
+        &self,
+        checker: &mut InvariantChecker,
+    ) -> Result<(), InvariantViolation> {
+        checker.check_step(self)
+    }
+
     fn schedule(&mut self, at: u64, kind: EventKind) {
         self.seq += 1;
         self.queue.push(ScheduledEvent { at, seq: self.seq, kind });
@@ -406,17 +560,27 @@ impl SimCluster {
                 stats.messages += 1;
             }
         }
-        if let Some(delay) = self.config.latency.sample(&mut self.rng) {
-            if matches!(payload, Payload::Protocol(_))
-                && self.config.fail_fast_dead_links
-                && !self.nodes.contains_key(&to)
-            {
-                // Dead destination: the connection attempt fails after one
-                // latency sample and the sender skips the broken link.
-                self.schedule(self.now + delay, EventKind::SendFailed { node: from, peer: to });
-                return;
-            }
-            self.schedule(self.now + delay, EventKind::Deliver { from, to, payload });
+        let Some(base) = self.config.latency.sample(&mut self.rng) else {
+            return; // lost by the latency model
+        };
+        let protocol = matches!(payload, Payload::Protocol(_));
+        // The single fault-injection boundary: the plan turns one send into
+        // zero (dropped / partitioned), one, or several (duplicated)
+        // deliveries, each with its own delay.
+        let deliveries =
+            self.faults.deliveries(self.now, from, to, protocol, base, &mut self.rng);
+        let Some(&first) = deliveries.first() else { return };
+        if protocol && self.config.fail_fast_dead_links && !self.nodes.contains_key(&to) {
+            // Dead destination: the connection attempt fails after one
+            // latency sample and the sender skips the broken link.
+            self.schedule(self.now + first, EventKind::SendFailed { node: from, peer: to });
+            return;
+        }
+        for d in deliveries {
+            self.schedule(
+                self.now + d,
+                EventKind::Deliver { from, to, payload: payload.clone() },
+            );
         }
     }
 
@@ -455,11 +619,9 @@ impl SimCluster {
                         let node = self.nodes.get_mut(&to).expect("alive");
                         node.received += 1;
                         let outputs = node.selection.handle_message(from, msg, self.now);
-                        // Ensure a timeout poll is scheduled for new waits.
-                        if let Some(at) = node.selection.next_timeout() {
-                            self.schedule(at, EventKind::PollTimeouts { node: to });
-                        }
                         self.apply_outputs(to, outputs);
+                        // Ensure a timeout poll is scheduled for new waits.
+                        self.schedule_timeout_poll(to);
                     }
                     Payload::Gossip(msg) => {
                         let node = self.nodes.get_mut(&to).expect("alive");
@@ -501,6 +663,28 @@ impl SimCluster {
                 }
                 let outputs = n.selection.peer_unreachable(peer, self.now);
                 self.apply_outputs(node, outputs);
+                // Skipping the dead subtree may have re-forwarded the query
+                // to fresh peers with fresh deadlines.
+                self.schedule_timeout_poll(node);
+            }
+            EventKind::NodeFault { node, kind } => match kind {
+                NodeEventKind::Crash => self.crash(node),
+                NodeEventKind::Restart => {
+                    self.restart(node);
+                }
+            },
+        }
+    }
+
+    /// Schedules a timeout poll covering `node`'s earliest reply deadline,
+    /// if it is waiting on anyone. Called after every mutation that can add
+    /// `waiting` entries — without this, a query whose replies are all
+    /// lost would strand its pending state forever (the leak
+    /// [`InvariantChecker`] exists to catch).
+    fn schedule_timeout_poll(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get(&node) {
+            if let Some(at) = n.selection.next_timeout() {
+                self.schedule(at.max(self.now + 1), EventKind::PollTimeouts { node });
             }
         }
     }

@@ -4,6 +4,8 @@ use autosel_core::Message;
 use autosel_core::NodeProfile;
 use epigossip::{GossipMessage, NodeId};
 
+use crate::faults::NodeEventKind;
+
 /// A payload in flight between two nodes.
 #[derive(Debug, Clone)]
 pub(crate) enum Payload {
@@ -23,6 +25,8 @@ pub(crate) enum EventKind {
     /// Tell `node` that its send to `peer` failed (dead destination) — the
     /// fail-fast transport feedback of a refused connection.
     SendFailed { node: NodeId, peer: NodeId },
+    /// A timed crash or restart from the installed fault plan.
+    NodeFault { node: NodeId, kind: NodeEventKind },
 }
 
 /// An event with its firing time and a tiebreaking sequence number so the

@@ -14,6 +14,13 @@
 //!   every split boundary) queries (§6.2);
 //! * churn and massive-failure injection ([`SimCluster::churn_step`],
 //!   [`SimCluster::kill_fraction`]) as in §6.6–6.7;
+//! * [`faults`] — a seeded, composable [`FaultPlan`] (message drop /
+//!   delay / duplication / reordering, healing partitions, timed crash &
+//!   restart) injected at the single delivery boundary;
+//! * [`invariants`] — an [`InvariantChecker`] asserting the §6 global
+//!   correctness claims (exactly-once visits, σ-bounded early stop, no
+//!   leaked per-query state, monotone time, acyclic reply routing) after
+//!   every event and at quiescence;
 //! * [`QueryStats`] — per-query routing overhead, delivery, duplicate count
 //!   and message totals: exactly the metrics the paper's figures plot.
 //!
@@ -50,11 +57,15 @@ mod event;
 mod metrics;
 mod network;
 pub mod ablation;
+pub mod faults;
+pub mod invariants;
 pub mod viz;
 pub mod workload;
 
 pub use cluster::SimCluster;
 pub use config::SimConfig;
+pub use faults::FaultPlan;
+pub use invariants::{InvariantChecker, InvariantViolation};
 pub use metrics::{LoadHistogram, QueryStats};
 pub use network::LatencyModel;
 pub use workload::Placement;

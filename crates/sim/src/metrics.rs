@@ -3,12 +3,19 @@ use std::collections::HashSet;
 use epigossip::NodeId;
 
 /// Everything the paper's figures need to know about one query's execution.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the determinism regression tests rely
+/// on two same-seed runs producing *identical* stats, not just close ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryStats {
     /// Virtual time the query was issued.
     pub issued_at: u64,
     /// Number of nodes matching at issue time (alive ones).
     pub truth: u32,
+    /// The `σ` bound the query was issued with, if any. Recorded so the
+    /// invariant checker can assert early-stopped queries report at most a
+    /// bounded excess over `σ`.
+    pub sigma: Option<u32>,
     /// Matching nodes that actually received the QUERY message (plus the
     /// origin if it matched) — the numerator of the paper's *delivery*.
     pub matched_reached: HashSet<NodeId>,
@@ -35,6 +42,7 @@ impl QueryStats {
         QueryStats {
             issued_at,
             truth,
+            sigma: None,
             matched_reached: HashSet::new(),
             overhead: 0,
             duplicates: 0,

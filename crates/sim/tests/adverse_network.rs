@@ -23,7 +23,7 @@ fn lossy_config(loss: f64) -> SimConfig {
 #[test]
 fn queries_terminate_under_message_loss() {
     let space = Space::uniform(3, 80, 3).unwrap();
-    let mut sim = SimCluster::new(space.clone(), lossy_config(0.02), 17);
+    let mut sim = SimCluster::new(space.clone(), lossy_config(0.02), 18);
     sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 500);
     sim.wire_oracle();
 

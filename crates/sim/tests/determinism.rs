@@ -2,7 +2,7 @@
 //! identically, across populations, gossip, churn and queries.
 
 use attrspace::{Query, Space};
-use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
+use overlay_sim::{FaultPlan, LatencyModel, Placement, QueryStats, SimCluster, SimConfig};
 
 fn run_scenario(seed: u64) -> (Vec<u64>, f64, u64, u64) {
     let space = Space::uniform(4, 80, 3).unwrap();
@@ -41,6 +41,43 @@ fn different_seeds_diverge() {
     let b = run_scenario(2);
     // Populations share sizes but node placements and traffic differ.
     assert_ne!((a.2, a.3), (b.2, b.3), "different seeds should differ");
+}
+
+/// Fault injection draws from the cluster's own seeded RNG, so the same
+/// seed and the same [`FaultPlan`] must replay to *identical* per-query
+/// stats — every field, including which nodes were reached and how many
+/// duplicates landed. This is what makes a failing fault-matrix seed a
+/// reproducible bug report (see `docs/TESTING.md`).
+#[test]
+fn same_seed_and_fault_plan_replay_identical_stats() {
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let plan = FaultPlan::new()
+        .drop_all(0.10)
+        .delay_all(0.3, 10, 80)
+        .duplicate_protocol(0.2, 1)
+        .crash(5_000, 3)
+        .restart(40_000, 3);
+    let run = |seed: u64| -> Vec<QueryStats> {
+        let mut cfg = SimConfig::fast_static();
+        cfg.protocol.query_timeout_ms = 8_000;
+        cfg.latency = LatencyModel::Constant { ms: 5 };
+        let mut sim = SimCluster::new(space.clone(), cfg, seed);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 150);
+        sim.wire_oracle();
+        sim.set_fault_plan(plan.clone());
+        let query = Query::builder(&space).min("a0", 40).build().unwrap();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, query.clone(), None);
+            sim.run_to_quiescence();
+            out.push(sim.query_stats(qid).unwrap().clone());
+        }
+        out
+    };
+    let a = run(31337);
+    assert_eq!(a, run(31337), "same seed + same plan must be byte-identical");
+    assert_ne!(a, run(31338), "a different seed draws a different fault schedule");
 }
 
 #[test]

@@ -153,7 +153,7 @@ impl HostGenerator {
         // Benchmarks correlate with clock and core count, with noise.
         let fpops = (mhz as f64 * rng.gen_range(0.6..1.2)) as u64;
         let iops = (mhz as f64 * rng.gen_range(0.9..1.8)) as u64;
-        let mem_bw = (ram_mb as f64).sqrt() as u64 * (100 + rng.gen_range(0..100));
+        let mem_bw = (ram_mb as f64).sqrt() as u64 * (100 + rng.gen_range(0..100u64));
         let uptime_hours = (lognormal(rng, 2.0, 1.0).clamp(0.0, 2_000.0)) as u64; // median ~7h
         let availability_pct = (100.0 * (1.0 - (-(uptime_hours as f64) / 24.0).exp()))
             .clamp(1.0, 100.0) as u64;

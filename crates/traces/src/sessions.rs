@@ -48,7 +48,7 @@ impl Schedule {
             let mu_on = online_mean_s.ln();
             let mu_off = (offline_mean_s.max(1) as f64).ln();
             let mut t = 0u64;
-            let mut online = rng.gen_range(0..100) < h.availability_pct;
+            let mut online = rng.gen_range(0..100u64) < h.availability_pct;
             if online {
                 events.push((0, SessionEvent::Join { host: i }));
             }

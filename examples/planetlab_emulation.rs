@@ -1,4 +1,4 @@
-//! A miniature PlanetLab run over *real TCP sockets*: 40 live tokio peers on
+//! A miniature PlanetLab run over *real TCP sockets*: 40 live threaded peers on
 //! loopback, gossip maintaining the overlay, a kill of 10% of the network,
 //! and queries before and after showing recovery — §6.7 / Fig. 13 in small.
 //!
@@ -10,8 +10,7 @@ use autosel::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-#[tokio::main(flavor = "multi_thread", worker_threads = 2)]
-async fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = Space::uniform(3, 80, 3)?;
     let mut rng = StdRng::seed_from_u64(55);
     let points: Vec<Point> = (0..40)
@@ -34,16 +33,16 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         Transport::tcp(space.clone()),
         8,
     )
-    .await?;
+    ?;
 
     // Convergence: ~50 gossip rounds of 40 ms.
-    tokio::time::sleep(Duration::from_secs(2)).await;
+    std::thread::sleep(Duration::from_secs(2));
 
     let query = Query::builder(&space).min("a0", 20).build()?;
     let origin = cluster.random_node();
     let before = cluster
         .query(origin, query.clone(), None, Duration::from_secs(30))
-        .await
+        
         .expect("pre-failure query");
     println!(
         "before failure: {}/{} matching peers reported (delivery {:.2})",
@@ -56,11 +55,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("killed {} peers ungracefully (no goodbye messages)", victims.len());
 
     // Give gossip a recovery window, then measure again.
-    tokio::time::sleep(Duration::from_secs(2)).await;
+    std::thread::sleep(Duration::from_secs(2));
     let origin = cluster.random_node();
     let after = cluster
         .query(origin, query, None, Duration::from_secs(30))
-        .await
+        
         .expect("post-failure query");
     println!(
         "after recovery: {}/{} matching peers reported (delivery {:.2})",
@@ -76,6 +75,6 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         traffic.len(),
         total_sent
     );
-    cluster.shutdown().await;
+    cluster.shutdown();
     Ok(())
 }

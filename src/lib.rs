@@ -18,7 +18,7 @@
 //! | [`sim`] | `overlay-sim` | discrete-event simulator (PeerSim role) |
 //! | [`dht`] | `dht-baseline` | Bamboo/SWORD delegation baseline |
 //! | [`traces`] | `synthtrace` | synthetic BOINC host attribute traces |
-//! | [`net`] | `autosel-net` | tokio runtime (DAS / PlanetLab role) |
+//! | [`net`] | `autosel-net` | threaded network runtime (DAS / PlanetLab role) |
 //!
 //! ## Quickstart
 //!

@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn release_returns_slots() {
         let (mut s, space) = scheduler(60, 1);
-        let spec = JobSpec { replicas: 40, ..job(&space, 40) };
+        let spec = JobSpec { replicas: 30, ..job(&space, 30) };
         let a = s.submit(&spec).expect("placement");
         // The pool is nearly drained; an identical job cannot fit.
         let err = s.submit(&spec).unwrap_err();

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides a minimal wall-clock benchmark harness with the API subset the
+//! workspace's benches use: [`Criterion::bench_function`] /
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It measures mean wall-clock time per iteration over a fixed number of
+//! samples and prints one line per benchmark. There is no statistical
+//! analysis, HTML report, or regression detection — this exists so
+//! `cargo bench` compiles and produces indicative numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// How setup output is passed between batches in
+/// [`Bencher::iter_batched`]. All variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Label from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, recorded by the iteration methods.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, averaging over the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call keeps cold-start noise out of the mean.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = std::hint::black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_secs = total.as_secs_f64() / self.samples as f64;
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 30;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, mean_secs: 0.0 };
+        f(&mut b);
+        println!("{name:<44} {:>12}/iter", format_duration(b.mean_secs));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: self.samples, _parent: self }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's budget is sample-count
+    /// driven, so the measurement time is not enforced.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.samples, mean_secs: 0.0 };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.into().id);
+        println!("{label:<44} {:>12}/iter", format_duration(b.mean_secs));
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.samples, mean_secs: 0.0 };
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.id);
+        println!("{label:<44} {:>12}/iter", format_duration(b.mean_secs));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Hides a value from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).measurement_time(Duration::from_millis(1));
+        g.bench_function("f", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("p", 3), &3u32, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" µs"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}
