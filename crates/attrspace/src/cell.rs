@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{BucketIndex, Region};
 
@@ -15,9 +16,13 @@ pub type Level = u8;
 /// * the neighboring subcell `N(l,k)(X)` constrains dimensions `< k` to `X`'s
 ///   half of `Cl`, flips dimension `k` to the *other* half, and leaves
 ///   dimensions `> k` free (§4.1 and Fig. 1b).
+///
+/// The indices live behind an [`Arc`]: coordinates are cloned into every
+/// routing-table entry and node profile, and the shared storage makes those
+/// clones reference bumps instead of allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CellCoord {
-    indices: Vec<BucketIndex>,
+    indices: Arc<[BucketIndex]>,
     max_level: Level,
 }
 
@@ -70,7 +75,7 @@ impl CellCoord {
             indices.iter().all(|&i| i < buckets),
             "bucket index out of range for max_level {max_level}"
         );
-        CellCoord { indices, max_level }
+        CellCoord { indices: indices.into(), max_level }
     }
 
     /// The per-dimension bucket indices.
@@ -127,7 +132,7 @@ impl CellCoord {
         assert!(level <= self.max_level, "level beyond nesting depth");
         self.indices
             .iter()
-            .zip(&other.indices)
+            .zip(other.indices.iter())
             .all(|(&a, &b)| a >> level == b >> level)
     }
 
@@ -141,7 +146,7 @@ impl CellCoord {
         assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
         self.indices
             .iter()
-            .zip(&other.indices)
+            .zip(other.indices.iter())
             .map(|(&a, &b)| (32 - (a ^ b).leading_zeros()) as Level)
             .max()
             .expect("at least one dimension")
@@ -202,12 +207,79 @@ impl CellCoord {
         if level == 0 {
             return Neighborhood::Zero;
         }
+        // `other` shares Cl but not C(l-1): by the N(l,k) definition its
+        // slot dimension is the *first* dimension whose level-(l-1) half
+        // differs from ours (dims before it match our half, dims after are
+        // unconstrained). Pure bit arithmetic — no region materialization.
+        let shift = level - 1;
+        for dim in 0..self.dims() {
+            if (self.indices[dim] >> shift) != (other.indices[dim] >> shift) {
+                return Neighborhood::Cell { level, dim };
+            }
+        }
+        unreachable!("coordinate in Cl \\ C(l-1) must fall in exactly one N(l,k)")
+    }
+
+    /// Region-materializing rendition of [`classify`](Self::classify) — the
+    /// definition straight from the paper, kept as the oracle the fast
+    /// bit-arithmetic path is property-tested against.
+    pub fn classify_reference(&self, other: &CellCoord) -> Neighborhood {
+        let level = self.lowest_common_level(other);
+        if level == 0 {
+            return Neighborhood::Zero;
+        }
         for dim in 0..self.dims() {
             if self.neighboring_cell(level, dim).contains(other) {
                 return Neighborhood::Cell { level, dim };
             }
         }
         unreachable!("coordinate in Cl \\ C(l-1) must fall in exactly one N(l,k)")
+    }
+
+    /// Precomputes every neighboring subcell of this coordinate; see
+    /// [`SubcellIndex`].
+    pub fn subcell_index(&self) -> SubcellIndex {
+        SubcellIndex::new(self)
+    }
+}
+
+/// Every neighboring subcell `N(l,k)` of one coordinate, materialized once.
+///
+/// [`CellCoord::neighboring_cell`] allocates a fresh [`Region`] per call,
+/// and the query `forward` loop (Fig. 5) asks for the same handful of
+/// regions on every hop a node serves. A node computes this index once at
+/// construction and borrows regions out of it for the rest of its life.
+#[derive(Debug, Clone)]
+pub struct SubcellIndex {
+    dims: usize,
+    /// Slot `(level-1) * dims + dim` holds `N(level, dim)`.
+    regions: Vec<Region>,
+}
+
+impl SubcellIndex {
+    /// Builds the index for `coord`: `dims × max_level` regions.
+    pub fn new(coord: &CellCoord) -> Self {
+        let dims = coord.dims();
+        let mut regions = Vec::with_capacity(dims * coord.max_level() as usize);
+        for level in 1..=coord.max_level() {
+            for dim in 0..dims {
+                regions.push(coord.neighboring_cell(level, dim));
+            }
+        }
+        SubcellIndex { dims, regions }
+    }
+
+    /// The cached `N(level, dim)` — same value [`CellCoord::neighboring_cell`]
+    /// would compute, without the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or beyond the coordinate's nesting depth, or
+    /// `dim` is out of range.
+    pub fn neighboring_cell(&self, level: Level, dim: usize) -> &Region {
+        assert!(level >= 1, "N(l,k) is defined for l >= 1");
+        assert!(dim < self.dims, "dimension out of range");
+        &self.regions[(level as usize - 1) * self.dims + dim]
     }
 }
 

@@ -15,6 +15,41 @@ use crate::{BucketIndex, RawValue, SpaceError};
 pub struct Dimension {
     name: String,
     boundaries: Vec<RawValue>,
+    /// Cached bucket-resolution strategy, derived from `boundaries` at
+    /// construction (deterministic, so the derived `Eq`/`Hash` stay
+    /// consistent).
+    resolver: Resolver,
+}
+
+/// How [`Dimension::bucket`] maps a value to its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resolver {
+    /// Evenly spaced boundaries `first + i * step`: one subtraction and one
+    /// division instead of a binary search. Every [`Dimension::uniform`]
+    /// dimension (the paper's whole evaluation) takes this path.
+    Uniform { first: RawValue, step: RawValue },
+    /// Irregular boundaries: binary search (`bucket_reference`).
+    General,
+}
+
+impl Resolver {
+    fn derive(boundaries: &[RawValue]) -> Self {
+        match boundaries {
+            [] => Resolver::Uniform { first: RawValue::MAX, step: 1 },
+            [first] => Resolver::Uniform { first: *first, step: 1 },
+            [first, rest @ ..] => {
+                let step = rest[0] - first;
+                let even = boundaries
+                    .windows(2)
+                    .all(|w| w[1] - w[0] == step);
+                if even {
+                    Resolver::Uniform { first: *first, step }
+                } else {
+                    Resolver::General
+                }
+            }
+        }
+    }
 }
 
 impl Dimension {
@@ -33,7 +68,8 @@ impl Dimension {
         if boundaries.windows(2).any(|w| w[0] >= w[1]) {
             return Err(SpaceError::UnsortedBoundaries { dimension: name });
         }
-        Ok(Dimension { name, boundaries })
+        let resolver = Resolver::derive(&boundaries);
+        Ok(Dimension { name, boundaries, resolver })
     }
 
     /// Creates a dimension whose `buckets` buckets evenly split `[lo, hi)`.
@@ -52,8 +88,9 @@ impl Dimension {
             "range [{lo}, {hi}) too narrow for {buckets} buckets"
         );
         let width = (hi - lo) / u64::from(buckets);
-        let boundaries = (1..buckets).map(|i| lo + u64::from(i) * width).collect();
-        Dimension { name: name.into(), boundaries }
+        let boundaries: Vec<RawValue> = (1..buckets).map(|i| lo + u64::from(i) * width).collect();
+        let resolver = Resolver::derive(&boundaries);
+        Dimension { name: name.into(), boundaries, resolver }
     }
 
     /// The attribute name, e.g. `"mem"`.
@@ -71,8 +108,28 @@ impl Dimension {
         &self.boundaries
     }
 
-    /// Maps a raw value to its bucket index (binary search, `O(log B)`).
+    /// Maps a raw value to its bucket index. Evenly spaced boundaries (the
+    /// common case, detected at construction) resolve with one division;
+    /// irregular ones fall back to the binary search of
+    /// [`bucket_reference`](Self::bucket_reference).
     pub fn bucket(&self, value: RawValue) -> BucketIndex {
+        match self.resolver {
+            Resolver::Uniform { first, step } => {
+                if value < first {
+                    0
+                } else {
+                    let past = ((value - first) / step).saturating_add(1);
+                    past.min(self.boundaries.len() as u64) as BucketIndex
+                }
+            }
+            Resolver::General => self.bucket_reference(value),
+        }
+    }
+
+    /// The unaccelerated bucket lookup (binary search, `O(log B)`) — the
+    /// oracle [`bucket`](Self::bucket)'s fast path is property-tested
+    /// against.
+    pub fn bucket_reference(&self, value: RawValue) -> BucketIndex {
         self.boundaries.partition_point(|&b| b <= value) as BucketIndex
     }
 

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use crate::RawValue;
 
@@ -6,14 +7,18 @@ use crate::RawValue;
 ///
 /// Construct through [`Space::point`](crate::Space::point), which validates
 /// the arity against the space.
+///
+/// The values are stored behind an [`Arc`], so cloning a point — which every
+/// routing-table entry, gossip profile and query match does — is a reference
+/// bump, not an allocation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Point {
-    values: Vec<RawValue>,
+    values: Arc<[RawValue]>,
 }
 
 impl Point {
     pub(crate) fn new_unchecked(values: Vec<RawValue>) -> Self {
-        Point { values }
+        Point { values: values.into() }
     }
 
     /// The raw attribute values, in dimension order.
@@ -23,7 +28,7 @@ impl Point {
 
     /// Consumes the point and returns the raw values.
     pub fn into_values(self) -> Vec<RawValue> {
-        self.values
+        self.values.to_vec()
     }
 }
 

@@ -133,11 +133,19 @@ impl Query {
     ///
     /// Panics if the point's arity differs from the query's.
     pub fn matches(&self, point: &Point) -> bool {
-        assert_eq!(point.values().len(), self.ranges.len(), "dimensionality mismatch");
-        self.ranges
-            .iter()
-            .zip(point.values())
-            .all(|(r, &v)| r.contains(v))
+        self.matches_values(point.values())
+    }
+
+    /// [`matches`](Self::matches) on raw values in dimension order, for
+    /// callers that store points column-wise (e.g. a simulator's dense
+    /// ground-truth scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong arity.
+    pub fn matches_values(&self, values: &[RawValue]) -> bool {
+        assert_eq!(values.len(), self.ranges.len(), "dimensionality mismatch");
+        self.ranges.iter().zip(values).all(|(r, &v)| r.contains(v))
     }
 
     /// Whether the query leaves every attribute unspecified (matches all).

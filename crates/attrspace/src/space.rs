@@ -87,6 +87,11 @@ impl Space {
 
     /// Maps a point to its per-dimension bucket indices.
     ///
+    /// Uses each dimension's cached bucket resolver ([`Dimension::bucket`]):
+    /// evenly spaced dimensions resolve by division, irregular ones by
+    /// binary search. [`cell_coord_reference`](Self::cell_coord_reference)
+    /// is the always-binary-search oracle this is tested against.
+    ///
     /// # Panics
     ///
     /// Panics if the point's arity disagrees with the space (points are
@@ -99,6 +104,20 @@ impl Space {
             .iter()
             .zip(&self.inner.dimensions)
             .map(|(&v, dim)| dim.bucket(v))
+            .collect();
+        CellCoord::new(indices, self.inner.max_level)
+    }
+
+    /// [`cell_coord`](Self::cell_coord) without the cached fast path: every
+    /// dimension resolves by binary search. Exists so property tests can
+    /// assert the accelerated mapping agrees with the definition.
+    pub fn cell_coord_reference(&self, point: &Point) -> CellCoord {
+        assert_eq!(point.values().len(), self.dims(), "point from a different space");
+        let indices: Vec<BucketIndex> = point
+            .values()
+            .iter()
+            .zip(&self.inner.dimensions)
+            .map(|(&v, dim)| dim.bucket_reference(v))
             .collect();
         CellCoord::new(indices, self.inner.max_level)
     }

@@ -1,0 +1,82 @@
+//! The hot-path caches must agree with their unaccelerated definitions:
+//! the division-based uniform bucket resolver vs. binary search, the
+//! bit-arithmetic `classify` vs. the region-materializing one, and the
+//! `SubcellIndex` vs. freshly computed `neighboring_cell` regions.
+
+use attrspace::{CellCoord, Dimension, Space};
+use proptest::prelude::*;
+
+const MAX_LEVEL: u8 = 4;
+
+fn arb_coord(dims: usize) -> impl Strategy<Value = CellCoord> {
+    prop::collection::vec(0u32..(1 << MAX_LEVEL), dims)
+        .prop_map(|idx| CellCoord::new(idx, MAX_LEVEL))
+}
+
+proptest! {
+    /// Uniform dimensions resolve by division; the result must equal the
+    /// binary-search reference for any value, including the open top end.
+    #[test]
+    fn uniform_bucket_fast_path_agrees(
+        lo in 0u64..1_000,
+        extent in 16u64..100_000,
+        value in proptest::prelude::any::<u64>(),
+    ) {
+        let d = Dimension::uniform("x", lo, lo + extent, 16);
+        prop_assert_eq!(d.bucket(value), d.bucket_reference(value));
+    }
+
+    /// Irregular dimensions fall back to the same search — trivially equal,
+    /// but pinned so a future "fast path for everything" change can't skew
+    /// skewed spaces silently.
+    #[test]
+    fn irregular_bucket_agrees(
+        mut bounds in prop::collection::btree_set(1u64..10_000, 3),
+        value in 0u64..20_000,
+    ) {
+        let bounds: Vec<u64> = std::mem::take(&mut bounds).into_iter().collect();
+        let d = Dimension::with_boundaries("x", bounds).unwrap();
+        prop_assert_eq!(d.bucket(value), d.bucket_reference(value));
+    }
+
+    /// The accelerated `Space::cell_coord` equals the reference mapping on
+    /// a space mixing uniform and irregular dimensions.
+    #[test]
+    fn cell_coord_cache_agrees_with_reference(
+        v0 in proptest::prelude::any::<u64>(),
+        v1 in 0u64..200,
+        v2 in 0u64..20_000,
+    ) {
+        let space = Space::builder()
+            .max_level(2)
+            .uniform_dimension("a", 0, 80)
+            .uniform_dimension("b", 3, 163)
+            .dimension(Dimension::with_boundaries("c", vec![128, 4096, 8192]).unwrap())
+            .build()
+            .unwrap();
+        let p = space.point(&[v0, v1, v2]).unwrap();
+        prop_assert_eq!(space.cell_coord(&p), space.cell_coord_reference(&p));
+    }
+
+    /// Bit-arithmetic classification equals the region-materializing
+    /// definition for every coordinate pair.
+    #[test]
+    fn classify_fast_path_agrees(x in arb_coord(3), y in arb_coord(3)) {
+        prop_assert_eq!(x.classify(&y), x.classify_reference(&y));
+    }
+
+    /// The subcell index returns exactly the regions `neighboring_cell`
+    /// computes, for every (level, dim).
+    #[test]
+    fn subcell_index_agrees(x in arb_coord(3)) {
+        let index = x.subcell_index();
+        for level in 1..=MAX_LEVEL {
+            for dim in 0..3 {
+                prop_assert_eq!(
+                    index.neighboring_cell(level, dim),
+                    &x.neighboring_cell(level, dim)
+                );
+            }
+        }
+    }
+}

@@ -177,7 +177,7 @@ fn bench_wire_codec(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let msg = NetMessage::Protocol(Message::Query(QueryMsg {
         id: QueryId { origin: 42, seq: 7 },
-        query: random_query(&space, 0.125, &mut rng),
+        query: random_query(&space, 0.125, &mut rng).into(),
         sigma: Some(50),
         level: 3,
         dims: 0xFFFF,

@@ -8,6 +8,7 @@
 //!     queries, many serve none); self-representation stays balanced.
 
 use bench::experiments::{fig09a_series, fig09b};
+use bench::sweep::{run_parallel, threads};
 use bench::{print_table1, scaled};
 use overlay_sim::Placement;
 
@@ -16,13 +17,18 @@ fn main() {
     print_table1(n);
 
     println!("# Figure 9(a): % of nodes per message-load decile (N={n}, 2000 queries)");
-    let (uni, umax) = fig09a_series(n, &Placement::Uniform { lo: 0, hi: 80 }, 2_000, 9);
-    let (nor, nmax) = fig09a_series(
-        n,
-        &Placement::Normal { center: 60.0, stddev: 10.0, max: 80 },
-        2_000,
-        10,
-    );
+    // The two placements are independent (config × seed) jobs.
+    let configs = [
+        (Placement::Uniform { lo: 0, hi: 80 }, 9u64),
+        (Placement::Normal { center: 60.0, stddev: 10.0, max: 80 }, 10u64),
+    ];
+    let jobs: Vec<_> = configs
+        .into_iter()
+        .map(|(placement, seed)| move || fig09a_series(n, &placement, 2_000, seed))
+        .collect();
+    let mut series = run_parallel(jobs, threads());
+    let (nor, nmax) = series.pop().expect("normal series");
+    let (uni, umax) = series.pop().expect("uniform series");
     println!("{:>12}  {:>8}  {:>8}", "load decile", "uniform", "normal");
     for i in 0..10 {
         println!("{:>9}-{:>2}%  {:>7.1}%  {:>7.1}%", i * 10 + 1, (i + 1) * 10, uni[i], nor[i]);

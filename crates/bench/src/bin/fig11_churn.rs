@@ -6,16 +6,21 @@
 //! special repair beyond the standing gossip.
 
 use bench::experiments::fig11;
+use bench::sweep::{run_parallel, threads};
 use bench::{print_table1, scaled};
 
 fn main() {
     let n = scaled(20_000);
     print_table1(n);
-    for rate in [0.001f64, 0.002] {
+    // Both churn rates run as independent sweep jobs; output stays in rate
+    // order because the runner merges results by job position.
+    let rates = [0.001f64, 0.002];
+    let jobs: Vec<_> = rates.iter().map(|&rate| move || fig11(n, rate, 1_500, 21)).collect();
+    let results = run_parallel(jobs, threads());
+    for (&rate, rows) in rates.iter().zip(&results) {
         println!("# Figure 11: delivery vs. time, churn {}% per 10s (N={n})", rate * 100.0);
-        let rows = fig11(n, rate, 1_500, 21);
         println!("{:>8}  {:>8}", "t(s)", "delivery");
-        for (t, d) in &rows {
+        for (t, d) in rows {
             println!("{t:>8}  {d:>8.3}");
         }
         let avg: f64 = rows.iter().map(|&(_, d)| d).sum::<f64>() / rows.len().max(1) as f64;

@@ -5,19 +5,24 @@
 //! after 90% the overlay partitions and full delivery is never restored.
 
 use bench::experiments::fig12;
+use bench::sweep::{run_parallel, threads};
 use bench::{print_table1, scaled};
 
 fn main() {
     let n = scaled(20_000);
     print_table1(n);
-    for fraction in [0.5f64, 0.9] {
+    // The two failure fractions are independent sweep jobs.
+    let fractions = [0.5f64, 0.9];
+    let jobs: Vec<_> =
+        fractions.iter().map(|&fraction| move || fig12(n, fraction, 2_400, 33)).collect();
+    let results = run_parallel(jobs, threads());
+    for (&fraction, rows) in fractions.iter().zip(&results) {
         println!(
             "# Figure 12: delivery vs. time, {:.0}% simultaneous failure at t=300s (N={n})",
             fraction * 100.0
         );
-        let rows = fig12(n, fraction, 2_400, 33);
         println!("{:>8}  {:>8}", "t(s)", "delivery");
-        for (t, d) in &rows {
+        for (t, d) in rows {
             println!("{t:>8}  {d:>8.3}");
         }
         println!();

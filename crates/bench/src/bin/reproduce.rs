@@ -6,6 +6,7 @@
 //! for the paper's full 100 000-node populations).
 
 use bench::experiments::*;
+use bench::sweep::{run_parallel, threads};
 use bench::table::write_csv;
 use bench::{print_table1, scaled};
 use overlay_sim::Placement;
@@ -24,8 +25,13 @@ fn main() -> std::io::Result<()> {
     // ---- Figure 7 ----------------------------------------------------
     eprintln!("[fig07] overhead vs. selectivity…");
     let fs = [0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0];
-    let f7_sim = fig07(scaled(100_000), &fs, 10, 7);
-    let f7_das = fig07(1_000, &fs, 15, 7);
+    let f7_configs = [(scaled(100_000), 10usize), (1_000, 15)];
+    let mut f7 = run_parallel(
+        f7_configs.iter().map(|&(n, q)| move || fig07(n, &fs, q, 7)).collect(),
+        threads(),
+    );
+    let f7_das = f7.pop().expect("DAS series");
+    let f7_sim = f7.pop().expect("PeerSim series");
     write_csv(
         "fig07_peersim",
         "f,best_inf,worst_inf,worst_s50",
@@ -50,13 +56,19 @@ fn main() -> std::io::Result<()> {
     // ---- Figure 9 ----------------------------------------------------
     eprintln!("[fig09] load distributions…");
     let n9 = scaled(10_000);
-    let (uni, _) = fig09a_series(n9, &Placement::Uniform { lo: 0, hi: 80 }, 1_500, 9);
-    let (nor, _) = fig09a_series(
-        n9,
-        &Placement::Normal { center: 60.0, stddev: 10.0, max: 80 },
-        1_500,
-        10,
+    let f9_configs = [
+        (Placement::Uniform { lo: 0, hi: 80 }, 9u64),
+        (Placement::Normal { center: 60.0, stddev: 10.0, max: 80 }, 10u64),
+    ];
+    let mut f9 = run_parallel(
+        f9_configs
+            .into_iter()
+            .map(|(placement, seed)| move || fig09a_series(n9, &placement, 1_500, seed))
+            .collect(),
+        threads(),
     );
+    let (nor, _) = f9.pop().expect("normal series");
+    let (uni, _) = f9.pop().expect("uniform series");
     write_csv(
         "fig09a",
         "decile,uniform_pct,normal_pct",
@@ -90,8 +102,15 @@ fn main() -> std::io::Result<()> {
     // ---- Figure 11 ---------------------------------------------------
     eprintln!("[fig11] churn…");
     let n11 = scaled(20_000);
-    let f11a = fig11(n11, 0.001, 1_200, 21);
-    let f11b = fig11(n11, 0.002, 1_200, 22);
+    let mut f11 = run_parallel(
+        [(0.001f64, 21u64), (0.002, 22)]
+            .iter()
+            .map(|&(rate, seed)| move || fig11(n11, rate, 1_200, seed))
+            .collect(),
+        threads(),
+    );
+    let f11b = f11.pop().expect("0.2% series");
+    let f11a = f11.pop().expect("0.1% series");
     write_csv("fig11a", "t_s,delivery", f11a.iter().map(|(t, d)| format!("{t},{d:.4}")))?;
     write_csv("fig11b", "t_s,delivery", f11b.iter().map(|(t, d)| format!("{t},{d:.4}")))?;
     let mean11b: f64 = f11b.iter().map(|&(_, d)| d).sum::<f64>() / f11b.len().max(1) as f64;
@@ -99,8 +118,15 @@ fn main() -> std::io::Result<()> {
     // ---- Figure 12 ---------------------------------------------------
     eprintln!("[fig12] massive failure…");
     let n12 = scaled(20_000);
-    let f12a = fig12(n12, 0.5, 2_400, 33);
-    let f12b = fig12(n12, 0.9, 2_400, 34);
+    let mut f12 = run_parallel(
+        [(0.5f64, 33u64), (0.9, 34)]
+            .iter()
+            .map(|&(fraction, seed)| move || fig12(n12, fraction, 2_400, seed))
+            .collect(),
+        threads(),
+    );
+    let f12b = f12.pop().expect("90% series");
+    let f12a = f12.pop().expect("50% series");
     write_csv("fig12a", "t_s,delivery", f12a.iter().map(|(t, d)| format!("{t},{d:.4}")))?;
     write_csv("fig12b", "t_s,delivery", f12b.iter().map(|(t, d)| format!("{t},{d:.4}")))?;
     let tail = |rows: &[(u64, f64)]| -> f64 {

@@ -1,0 +1,198 @@
+//! `sweepbench` — the simulator's perf trajectory, recorded in
+//! `BENCH_sim.json`.
+//!
+//! Two measurements (see `docs/PERFORMANCE.md` for how to read the output):
+//!
+//! 1. **Single-run wall clock** — one oracle-wired static cluster of
+//!    N ∈ `AUTOSEL_BENCH_N` nodes (default `1000,5000,10000`), 40 σ=50
+//!    best-case queries run to quiescence. Each point runs twice with the
+//!    same seed and the per-query [`QueryStats`] fingerprints must match,
+//!    so every benchmark run is also a determinism check.
+//! 2. **Sweep scaling** — a fig06-style (size × seed) grid executed by the
+//!    deterministic parallel runner ([`bench::sweep`]) once on 1 thread and
+//!    once on `AUTOSEL_THREADS` (default: available cores, capped) threads.
+//!    Result digests must be identical; the entry records the speedup.
+//!
+//! The output file keeps one JSON entry object per line under `"entries"`;
+//! re-running with the same `AUTOSEL_BENCH_TAG` replaces that tag's entries
+//! and keeps everything else, so the file accumulates a trajectory of
+//! tagged measurements (`pre-hotpath` is the frozen pre-optimization
+//! baseline — do not overwrite it).
+//!
+//! `--check` exits non-zero unless the file was written, is well-formed and
+//! every determinism digest matched — CI's `bench-smoke` gate.
+//!
+//! ```text
+//! AUTOSEL_BENCH_N=200 AUTOSEL_BENCH_SEEDS=2 \
+//!   cargo run --release -p bench --bin sweepbench -- --check
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::Write as _;
+use std::time::Instant;
+
+use attrspace::Space;
+use bench::experiments::{DEFAULT_F, DEFAULT_SIGMA};
+use bench::sweep::{run_parallel, threads};
+use overlay_sim::workload::best_case_query;
+use overlay_sim::{Placement, SimCluster, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCHEMA: &str = "autosel/bench-sim/v1";
+const QUERIES_PER_RUN: usize = 40;
+
+fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// One timed single-run point: builds the cluster, runs the query batch,
+/// returns (setup_ms, query_ms, digest-of-fingerprints).
+fn single_run(n: usize, seed: u64) -> (f64, f64, u64) {
+    let space = Space::uniform(5, 80, 3).expect("space");
+    let placement = Placement::Uniform { lo: 0, hi: 80 };
+
+    let t0 = Instant::now();
+    let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), seed);
+    sim.populate(&placement, n);
+    sim.wire_oracle();
+    let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE_BE7C);
+    let mut hasher = DefaultHasher::new();
+    let t1 = Instant::now();
+    for _ in 0..QUERIES_PER_RUN {
+        let q = best_case_query(&space, DEFAULT_F, &mut rng);
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, q, Some(DEFAULT_SIGMA));
+        sim.run_to_quiescence();
+        sim.query_stats(qid).expect("stats").fingerprint().hash(&mut hasher);
+        sim.forget_query(qid);
+    }
+    let query_ms = t1.elapsed().as_secs_f64() * 1e3;
+    (setup_ms, query_ms, hasher.finish())
+}
+
+/// The fig06-style sweep grid: every (size, seed) point as an independent
+/// job returning a digest of its per-query stats.
+fn sweep_jobs(sizes: &[usize], seeds: usize) -> Vec<impl FnOnce() -> u64 + Send + use<>> {
+    let mut jobs = Vec::new();
+    for &n in sizes {
+        for s in 0..seeds as u64 {
+            jobs.push(move || single_run(n, 0xF16_0600 ^ s ^ ((n as u64) << 20)).2);
+        }
+    }
+    jobs
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let sizes = env_usize_list("AUTOSEL_BENCH_N", &[1_000, 5_000, 10_000]);
+    let seeds = env_usize("AUTOSEL_BENCH_SEEDS", 2).max(1);
+    let tag = std::env::var("AUTOSEL_BENCH_TAG").unwrap_or_else(|_| "current".to_string());
+    let out_path = std::env::var("AUTOSEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    let t = threads();
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut determinism_ok = true;
+
+    // ---- single-run wall clock (each point doubles as a determinism check)
+    for &n in &sizes {
+        eprintln!("[sweepbench] single run, N={n}…");
+        let (setup_a, query_a, digest_a) = single_run(n, 42);
+        let (_, _, digest_b) = single_run(n, 42);
+        let ok = digest_a == digest_b;
+        determinism_ok &= ok;
+        let wall = setup_a + query_a;
+        println!(
+            "single N={n}: setup {setup_a:.1} ms, {QUERIES_PER_RUN} queries {query_a:.1} ms, total {wall:.1} ms, deterministic={ok}"
+        );
+        entries.push(format!(
+            "{{\"tag\":\"{}\",\"kind\":\"single\",\"n\":{n},\"queries\":{QUERIES_PER_RUN},\"seed\":42,\"setup_ms\":{setup_a:.2},\"query_ms\":{query_a:.2},\"wall_ms\":{wall:.2},\"digest\":\"{digest_a:016x}\",\"deterministic\":{ok}}}",
+            json_escape(&tag)
+        ));
+    }
+
+    // ---- sweep scaling: serial vs parallel over the (size × seed) grid
+    let grid_sizes: Vec<usize> = sizes.iter().map(|&n| n.min(2_000)).collect();
+    let jobs_n = grid_sizes.len() * seeds;
+    eprintln!("[sweepbench] sweep grid: {jobs_n} jobs, serial…");
+    let t0 = Instant::now();
+    let serial = run_parallel(sweep_jobs(&grid_sizes, seeds), 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("[sweepbench] sweep grid: {jobs_n} jobs, {t} threads…");
+    let t1 = Instant::now();
+    let parallel = run_parallel(sweep_jobs(&grid_sizes, seeds), t);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let digests_match = serial == parallel;
+    determinism_ok &= digests_match;
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    println!(
+        "sweep {jobs_n} jobs: serial {serial_ms:.1} ms, {t} threads {parallel_ms:.1} ms, speedup {speedup:.2}x, digests_match={digests_match}"
+    );
+    entries.push(format!(
+        "{{\"tag\":\"{}\",\"kind\":\"sweep\",\"jobs\":{jobs_n},\"threads\":{t},\"serial_wall_ms\":{serial_ms:.2},\"parallel_wall_ms\":{parallel_ms:.2},\"speedup\":{speedup:.3},\"digests_match\":{digests_match}}}",
+        json_escape(&tag)
+    ));
+
+    // ---- merge with existing entries (other tags survive) and write
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(&out_path) {
+        let tag_marker = format!("{{\"tag\":\"{}\"", json_escape(&tag));
+        for line in prev.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with("{\"tag\":") && !line.starts_with(&tag_marker) {
+                kept.push(line.to_string());
+            }
+        }
+    }
+    kept.extend(entries);
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_sim.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "\"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(f, "\"entries\": [").unwrap();
+    for (i, e) in kept.iter().enumerate() {
+        let comma = if i + 1 < kept.len() { "," } else { "" };
+        writeln!(f, "{e}{comma}").unwrap();
+    }
+    writeln!(f, "]").unwrap();
+    writeln!(f, "}}").unwrap();
+    drop(f);
+    println!("wrote {} ({} entries)", out_path, kept.len());
+
+    // ---- --check: validate the artifact and the determinism digests
+    if check_mode {
+        let body = std::fs::read_to_string(&out_path).expect("re-read BENCH_sim.json");
+        let well_formed = body.contains(SCHEMA)
+            && body.contains("\"entries\": [")
+            && body.lines().filter(|l| l.starts_with("{\"tag\":")).count() == kept.len()
+            && body.trim_end().ends_with('}');
+        if !well_formed {
+            eprintln!("--check FAILED: {out_path} is malformed");
+            std::process::exit(1);
+        }
+        if !determinism_ok {
+            eprintln!("--check FAILED: determinism digest mismatch");
+            std::process::exit(1);
+        }
+        println!("--check OK: well-formed, deterministic");
+    }
+}

@@ -3,6 +3,8 @@
 
 use attrspace::{Query, Space};
 use dht_baseline::{Ring, SwordIndex};
+
+use crate::sweep::{run_parallel, threads};
 use overlay_sim::workload::{best_case_query, worst_case_query};
 use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
 use rand::rngs::StdRng;
@@ -67,25 +69,35 @@ pub enum QueryShape {
 }
 
 /// **Figure 6** — routing overhead vs. network size (σ = 50, f = 0.125).
+///
+/// Every size is an independent (config × seed) job — the cluster seed *and*
+/// the query stream derive from `(seed, n)`, so the points carry no shared
+/// RNG and the sweep fans across the [`crate::sweep`] runner (results merge
+/// back in size order regardless of thread count).
 pub fn fig06(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<(usize, f64)> {
     let space = Space::uniform(5, 80, 3).expect("space");
     let placement = Placement::Uniform { lo: 0, hi: 80 };
-    let mut rng = StdRng::seed_from_u64(seed);
-    sizes
+    let jobs: Vec<_> = sizes
         .iter()
         .map(|&n| {
-            let mut sim = static_cluster(&space, &placement, n, seed ^ n as u64);
-            let oh = mean_overhead(
-                &mut sim,
-                DEFAULT_F,
-                Some(DEFAULT_SIGMA),
-                queries_per_size,
-                &mut rng,
-                QueryShape::Best,
-            );
-            (n, oh)
+            let space = space.clone();
+            let placement = placement.clone();
+            move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).rotate_left(17));
+                let mut sim = static_cluster(&space, &placement, n, seed ^ n as u64);
+                let oh = mean_overhead(
+                    &mut sim,
+                    DEFAULT_F,
+                    Some(DEFAULT_SIGMA),
+                    queries_per_size,
+                    &mut rng,
+                    QueryShape::Best,
+                );
+                (n, oh)
+            }
         })
-        .collect()
+        .collect();
+    run_parallel(jobs, threads())
 }
 
 /// One row of **Figure 7** — overhead vs. selectivity.
@@ -103,47 +115,69 @@ pub struct Fig07Row {
 
 /// **Figure 7** — routing overhead vs. selectivity for best-case and
 /// worst-case query shapes (one call per population size: PeerSim / DAS).
+///
+/// Each selectivity point builds its own cluster from `(seed, index)` and is
+/// an independent sweep job. That duplicates the (cheap, oracle-wired) setup
+/// per point, but makes the expensive part — the σ = ∞ worst-case query
+/// batches — embarrassingly parallel.
 pub fn fig07(n: usize, fs: &[f64], queries_per_point: usize, seed: u64) -> Vec<Fig07Row> {
     let space = Space::uniform(5, 80, 3).expect("space");
     let placement = Placement::Uniform { lo: 0, hi: 80 };
-    let mut sim = static_cluster(&space, &placement, n, seed);
-    let mut rng = StdRng::seed_from_u64(seed);
-    fs.iter()
-        .map(|&f| Fig07Row {
-            f,
-            best_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Best),
-            worst_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Worst),
-            worst_sigma50: mean_overhead(
-                &mut sim,
-                f,
-                Some(DEFAULT_SIGMA),
-                queries_per_point,
-                &mut rng,
-                QueryShape::Worst,
-            ),
+    let jobs: Vec<_> = fs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let space = space.clone();
+            let placement = placement.clone();
+            move || {
+                let mut sim = static_cluster(&space, &placement, n, seed ^ ((i as u64 + 1) << 8));
+                let mut rng = StdRng::seed_from_u64(seed ^ f.to_bits());
+                Fig07Row {
+                    f,
+                    best_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Best),
+                    worst_unbounded: mean_overhead(&mut sim, f, None, queries_per_point, &mut rng, QueryShape::Worst),
+                    worst_sigma50: mean_overhead(
+                        &mut sim,
+                        f,
+                        Some(DEFAULT_SIGMA),
+                        queries_per_point,
+                        &mut rng,
+                        QueryShape::Worst,
+                    ),
+                }
+            }
         })
-        .collect()
+        .collect();
+    run_parallel(jobs, threads())
 }
 
 /// **Figure 8** — routing overhead vs. number of dimensions (σ = 50).
+///
+/// Per-dimension points are independent sweep jobs (query stream derived
+/// from `(seed, d)`), merged back in dimension order.
 pub fn fig08(n: usize, dims: &[usize], queries_per_point: usize, seed: u64) -> Vec<(usize, f64)> {
     let placement = Placement::Uniform { lo: 0, hi: 80 };
-    let mut rng = StdRng::seed_from_u64(seed);
-    dims.iter()
+    let jobs: Vec<_> = dims
+        .iter()
         .map(|&d| {
-            let space = Space::uniform(d, 80, 3).expect("space");
-            let mut sim = static_cluster(&space, &placement, n, seed ^ d as u64);
-            let oh = mean_overhead(
-                &mut sim,
-                DEFAULT_F,
-                Some(DEFAULT_SIGMA),
-                queries_per_point,
-                &mut rng,
-                QueryShape::Best,
-            );
-            (d, oh)
+            let placement = placement.clone();
+            move || {
+                let space = Space::uniform(d, 80, 3).expect("space");
+                let mut rng = StdRng::seed_from_u64(seed ^ (d as u64).rotate_left(33));
+                let mut sim = static_cluster(&space, &placement, n, seed ^ d as u64);
+                let oh = mean_overhead(
+                    &mut sim,
+                    DEFAULT_F,
+                    Some(DEFAULT_SIGMA),
+                    queries_per_point,
+                    &mut rng,
+                    QueryShape::Best,
+                );
+                (d, oh)
+            }
         })
-        .collect()
+        .collect();
+    run_parallel(jobs, threads())
 }
 
 /// Load distribution (messages dispatched per node) after `queries` σ=50
@@ -258,13 +292,18 @@ pub fn fig09b(hosts: usize, queries: usize, seed: u64) -> Fig09bResult {
 /// i.e. the gossip fixed point).
 pub fn fig10a(n: usize, dims: &[usize], seed: u64) -> Vec<(usize, f64)> {
     let placement = Placement::Uniform { lo: 0, hi: 80 };
-    dims.iter()
+    let jobs: Vec<_> = dims
+        .iter()
         .map(|&d| {
-            let space = Space::uniform(d, 80, 3).expect("space");
-            let sim = static_cluster(&space, &placement, n, seed ^ (d as u64) << 8);
-            (d, sim.link_histogram_cache_bounded(20).mean())
+            let placement = placement.clone();
+            move || {
+                let space = Space::uniform(d, 80, 3).expect("space");
+                let sim = static_cluster(&space, &placement, n, seed ^ (d as u64) << 8);
+                (d, sim.link_histogram_cache_bounded(20).mean())
+            }
         })
-        .collect()
+        .collect();
+    run_parallel(jobs, threads())
 }
 
 /// **Figure 10(b)** — distribution of per-node link counts, uniform vs.
@@ -272,15 +311,26 @@ pub fn fig10a(n: usize, dims: &[usize], seed: u64) -> Vec<(usize, f64)> {
 /// 3-link-wide bins as in the paper.
 pub fn fig10b(n: usize, seed: u64) -> (Vec<String>, Vec<f64>, Vec<f64>) {
     let space = Space::uniform(5, 80, 3).expect("space");
-    let uni = static_cluster(&space, &Placement::Uniform { lo: 0, hi: 80 }, n, seed);
-    let nor = static_cluster(
-        &space,
-        &Placement::Normal { center: 60.0, stddev: 10.0, max: 80 },
-        n,
-        seed ^ 1,
-    );
     let bins = 10usize;
     let width = 3u64;
+    let configs = [
+        (Placement::Uniform { lo: 0, hi: 80 }, seed),
+        (Placement::Normal { center: 60.0, stddev: 10.0, max: 80 }, seed ^ 1),
+    ];
+    let jobs: Vec<_> = configs
+        .into_iter()
+        .map(|(placement, s)| {
+            let space = space.clone();
+            move || {
+                static_cluster(&space, &placement, n, s)
+                    .link_histogram_cache_bounded(20)
+                    .percent_per_bin(bins, width)
+            }
+        })
+        .collect();
+    let mut series = run_parallel(jobs, threads());
+    let nor = series.pop().expect("normal series");
+    let uni = series.pop().expect("uniform series");
     let labels = (0..bins)
         .map(|i| {
             if i + 1 == bins {
@@ -290,11 +340,7 @@ pub fn fig10b(n: usize, seed: u64) -> (Vec<String>, Vec<f64>, Vec<f64>) {
             }
         })
         .collect();
-    (
-        labels,
-        uni.link_histogram_cache_bounded(20).percent_per_bin(bins, width),
-        nor.link_histogram_cache_bounded(20).percent_per_bin(bins, width),
-    )
+    (labels, uni, nor)
 }
 
 /// Dynamic-experiment configuration shared by Figs. 11–13.

@@ -10,6 +10,7 @@
 //! the network").
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
 /// Reads the scale factor from `AUTOSEL_SCALE` (default `0.2`).

@@ -62,6 +62,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod bootstrap;
+pub mod fasthash;
 mod messages;
 mod node;
 mod profile;

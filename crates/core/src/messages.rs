@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use attrspace::{Point, Query, Range, RawValue};
 use epigossip::NodeId;
@@ -61,8 +62,11 @@ pub struct Match {
 pub struct QueryMsg {
     /// Unique query identifier.
     pub id: QueryId,
-    /// The attribute ranges being searched.
-    pub query: Query,
+    /// The attribute ranges being searched. Shared, not owned: a query is
+    /// immutable for its whole lifetime, so every hop of the depth-first
+    /// traversal forwards the same allocation instead of deep-cloning the
+    /// range vector (the simulator's hottest clone before this change).
+    pub query: Arc<Query>,
     /// Upper bound `σ` on the number of nodes wanted (`None` = unbounded).
     pub sigma: Option<u32>,
     /// Highest cell level the receiver may explore; `-1` = answer only.
@@ -153,7 +157,7 @@ mod tests {
         let id = QueryId { origin: 1, seq: 2 };
         let q = Message::Query(QueryMsg {
             id,
-            query: Query::builder(&space).build().unwrap(),
+            query: Query::builder(&space).build().unwrap().into(),
             sigma: None,
             level: 3,
             dims: all_dims(2),

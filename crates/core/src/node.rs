@@ -1,6 +1,7 @@
-use std::collections::{HashMap, HashSet};
+use crate::fasthash::{FastMap, FastSet};
+use std::sync::Arc;
 
-use attrspace::{CellCoord, Level, Point, Query, Space};
+use attrspace::{CellCoord, Level, Point, Query, Space, SubcellIndex};
 use epigossip::{NodeId, View};
 use rand::Rng;
 
@@ -64,7 +65,8 @@ pub enum Output {
 /// the same query id).
 #[derive(Debug)]
 struct PendingQuery {
-    query: Query,
+    /// Shared with every [`QueryMsg`] this node forwards for the query.
+    query: Arc<Query>,
     /// Constraints on dynamic attributes, checked locally (footnote 1).
     dynamic: Vec<DynamicConstraint>,
     sigma: Option<u32>,
@@ -78,14 +80,14 @@ struct PendingQuery {
     count_only: bool,
     count: u64,
     matching: Vec<Match>,
-    matched_ids: HashSet<NodeId>,
+    matched_ids: FastSet<NodeId>,
     /// Peers queried but not yet answered, with their reply deadlines.
-    waiting: HashMap<NodeId, u64>,
+    waiting: FastMap<NodeId, u64>,
     /// `C0` neighbors already contacted (never re-sent on re-forwarding).
-    contacted_zero: HashSet<NodeId>,
+    contacted_zero: FastSet<NodeId>,
     /// `C0` members known (from the message) to have been visited already —
     /// the deduplication set of the optional epidemic relay.
-    visited_zero: HashSet<NodeId>,
+    visited_zero: FastSet<NodeId>,
 }
 
 impl PendingQuery {
@@ -121,14 +123,20 @@ pub struct SelectionNode {
     space: Space,
     point: Point,
     coord: CellCoord,
+    /// Precomputed `N(l,k)` regions of `coord` — `continue_query` scans one
+    /// per (level, dimension) pair on every hop, so they are materialized
+    /// once per point change instead of per scan. Built lazily on the first
+    /// forward: most nodes in a large population never route a query, and
+    /// skipping the build keeps population setup linear in cheap work.
+    subcells: Option<SubcellIndex>,
     routing: RoutingTable,
     /// Current values of this node's dynamic attributes (footnote 1).
-    dynamic: HashMap<u32, attrspace::RawValue>,
-    pending: HashMap<QueryId, PendingQuery>,
+    dynamic: FastMap<u32, attrspace::RawValue>,
+    pending: FastMap<QueryId, PendingQuery>,
     /// Every query id ever accepted — duplicates are answered empty instead
     /// of being re-processed, keeping the traversal exactly-once even under
     /// retries.
-    seen: HashSet<QueryId>,
+    seen: FastSet<QueryId>,
     config: ProtocolConfig,
     seq: u32,
     duplicate_receipts: u64,
@@ -149,11 +157,12 @@ impl SelectionNode {
             id,
             space: space.clone(),
             routing: RoutingTable::new(space.clone(), coord.clone()),
+            subcells: None,
             point,
             coord,
-            dynamic: HashMap::new(),
-            pending: HashMap::new(),
-            seen: HashSet::new(),
+            dynamic: FastMap::default(),
+            pending: FastMap::default(),
+            seen: FastSet::default(),
             config,
             seq: 0,
             duplicate_receipts: 0,
@@ -236,6 +245,7 @@ impl SelectionNode {
     /// no registry needs updating, which is the point of the paper.
     pub fn set_point(&mut self, point: Point) {
         self.coord = self.space.cell_coord(&point);
+        self.subcells = None;
         self.point = point;
         self.routing = RoutingTable::new(self.space.clone(), self.coord.clone());
     }
@@ -327,7 +337,7 @@ impl SelectionNode {
         self.seq += 1;
         let msg = QueryMsg {
             id,
-            query,
+            query: Arc::new(query),
             sigma,
             level: self.space.max_level() as i8,
             dims: all_dims(self.space.dims()),
@@ -456,9 +466,9 @@ impl SelectionNode {
             count_only: msg.count_only,
             count: 0,
             matching: Vec::new(),
-            matched_ids: HashSet::new(),
-            waiting: HashMap::new(),
-            contacted_zero: HashSet::new(),
+            matched_ids: FastSet::default(),
+            waiting: FastMap::default(),
+            contacted_zero: FastSet::default(),
             visited_zero: msg.visited_zero.into_iter().collect(),
         };
         if self.matches_fully(&p.query, &p.dynamic) {
@@ -481,9 +491,16 @@ impl SelectionNode {
             // upstream without it; nothing to do.
             return Vec::new();
         };
-        p.waiting.remove(&from);
+        let was_waiting = p.waiting.remove(&from).is_some();
         if p.count_only {
-            p.count += msg.count;
+            // Only count subtrees we are actually waiting on: a duplicated
+            // REPLY delivery (or one arriving after its peer timed out)
+            // must not be added twice. Enumerate mode is naturally immune —
+            // `matched_ids` dedups — but counts carry no identity, so the
+            // waiting set is the only witness of "not yet merged".
+            if was_waiting {
+                p.count += msg.count;
+            }
         } else {
             for m in msg.matching {
                 p.add_match(m);
@@ -511,6 +528,10 @@ impl SelectionNode {
     fn continue_query(&mut self, qid: QueryId, now: u64) -> Vec<Output> {
         let deadline = now.saturating_add(self.config.query_timeout_ms);
         let d = self.space.dims();
+        if self.subcells.is_none() {
+            self.subcells = Some(self.coord.subcell_index());
+        }
+        let subcells = self.subcells.as_ref().expect("just built");
         let p = self.pending.get_mut(&qid).expect("pending query");
         let mut out = Vec::new();
 
@@ -520,8 +541,8 @@ impl SelectionNode {
                 if p.dims & (1 << dim) == 0 {
                     continue;
                 }
-                let subcell = self.coord.neighboring_cell(level, dim);
-                if !p.query.region().intersects(&subcell) {
+                let subcell = subcells.neighboring_cell(level, dim);
+                if !p.query.region().intersects(subcell) {
                     continue;
                 }
                 // The subcell overlaps the query. Forward to our link there,
@@ -704,7 +725,7 @@ mod tests {
         a.routing_mut().observe(4, s.point(&[3, 3]).unwrap());
         let q = Query::builder(&s).range("a0", 5, 9).range("a1", 5, 9).build().unwrap();
         let (_, out) = a.begin_query(q.clone(), None, 0);
-        let targets: HashSet<NodeId> = out
+        let targets: FastSet<NodeId> = out
             .iter()
             .filter_map(|o| match o {
                 Output::Send { to, msg: Message::Query(m) } => {
@@ -714,7 +735,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(targets, HashSet::from([2, 3]));
+        assert_eq!(targets, [2, 3].into_iter().collect::<FastSet<NodeId>>());
 
         // Leaves answer immediately with themselves only.
         let mut b = node(2, [6, 6]);
@@ -742,7 +763,7 @@ mod tests {
         let q = Query::builder(&s).build().unwrap();
         let msg = QueryMsg {
             id: QueryId { origin: 9, seq: 0 },
-            query: q,
+            query: q.into(),
             sigma: None,
             level: -1,
             dims: 0,
@@ -866,6 +887,36 @@ mod tests {
         assert_eq!(matches.iter().filter(|m| m.node == 2).count(), 1);
     }
 
+    /// Counts carry no node identity, so the only witness that a subtree
+    /// was already merged is the waiting set: a duplicated REPLY delivery
+    /// must be merged exactly once, not once per copy. The two neighbors
+    /// sit in *different* subcells of the query region, so the traversal
+    /// is still waiting on the second when the duplicate of the first's
+    /// reply arrives.
+    #[test]
+    fn duplicated_reply_counts_once_in_count_mode() {
+        let s = space();
+        let mut a = node(1, [5, 5]);
+        a.routing_mut().observe(2, s.point(&[70, 70]).unwrap()); // N(3,0)
+        a.routing_mut().observe(3, s.point(&[5, 70]).unwrap()); // N(3,1)
+        let q = Query::builder(&s).min("a1", 60).build().unwrap();
+        let (qid, out) = a.begin_count_query(q, Vec::new(), 0);
+        let Output::Send { to: first, .. } = &out[0] else { panic!("{out:?}") };
+
+        let reply = Message::Reply(ReplyMsg { id: qid, matching: Vec::new(), count: 5 });
+        let mut outs = a.handle_message(*first, reply.clone(), 1);
+        assert_eq!(a.pending_len(), 1, "second subcell still outstanding");
+        // The same reply delivered again (a duplication fault).
+        outs.extend(a.handle_message(*first, reply, 2));
+        // Time out the remaining branch so the query concludes.
+        outs.extend(a.poll_timeouts(u64::MAX));
+        let total = outs.iter().find_map(|o| match o {
+            Output::Completed { count, .. } => Some(*count),
+            _ => None,
+        });
+        assert_eq!(total, Some(5), "duplicated reply merged more than once");
+    }
+
     /// The §4.1 epidemic relay: leaf receivers re-forward to same-`C0`
     /// mates the sender did not know. Four nodes share one `C0` cell but
     /// each knows only its ring successor (A→B→C→D→A), so full coverage
@@ -877,9 +928,9 @@ mod tests {
         use std::collections::VecDeque;
 
         let s = Space::uniform(1, 80, 1).unwrap();
-        let run = |c0_relay: bool| -> (Vec<NodeId>, HashMap<NodeId, u32>, u64) {
+        let run = |c0_relay: bool| -> (Vec<NodeId>, FastMap<NodeId, u32>, u64) {
             let cfg = ProtocolConfig { c0_relay, ..ProtocolConfig::default() };
-            let mut nodes: HashMap<NodeId, SelectionNode> = (0..4)
+            let mut nodes: FastMap<NodeId, SelectionNode> = (0..4)
                 .map(|id| {
                     (id, SelectionNode::new(id, &s, s.point(&[id + 1]).unwrap(), cfg.clone()))
                 })
@@ -891,7 +942,7 @@ mod tests {
             let q = Query::builder(&s).range("a0", 0, 39).build().unwrap();
             let (_, outs) = nodes.get_mut(&0).unwrap().begin_query(q, None, 0);
 
-            let mut receipts: HashMap<NodeId, u32> = HashMap::new();
+            let mut receipts: FastMap<NodeId, u32> = FastMap::default();
             let mut inbox: VecDeque<(NodeId, NodeId, Message)> = VecDeque::new();
             let mut completed: Option<Vec<Match>> = None;
             let absorb = |from: NodeId,

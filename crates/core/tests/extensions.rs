@@ -218,7 +218,7 @@ fn hostile_scope_fields_cannot_panic_a_node() {
     {
         let msg = QueryMsg {
             id: QueryId { origin: 999, seq: i as u32 },
-            query: query.clone(),
+            query: query.clone().into(),
             sigma: Some(5),
             level,
             dims,

@@ -334,7 +334,7 @@ mod tests {
     fn sample_msg(space: &Space) -> NetMessage {
         NetMessage::Protocol(Message::Query(QueryMsg {
             id: QueryId { origin: 1, seq: 2 },
-            query: Query::builder(space).build().unwrap(),
+            query: Query::builder(space).build().unwrap().into(),
             sigma: None,
             level: 3,
             dims: 0b11,

@@ -159,7 +159,7 @@ pub fn decode(space: &Space, mut buf: Bytes) -> Result<NetMessage, WireError> {
             let count_only = take_u8(&mut buf)? != 0;
             NetMessage::Protocol(Message::Query(QueryMsg {
                 id,
-                query,
+                query: query.into(),
                 sigma,
                 level,
                 dims,
@@ -311,7 +311,7 @@ mod tests {
         let s = space();
         let q = QueryMsg {
             id: QueryId { origin: 7, seq: 3 },
-            query: Query::builder(&s).min("a0", 40).range("a2", 5, 10).build().unwrap(),
+            query: Query::builder(&s).min("a0", 40).range("a2", 5, 10).build().unwrap().into(),
             sigma: Some(50),
             level: 2,
             dims: 0b101,
@@ -369,7 +369,7 @@ mod tests {
         let two = Space::uniform(2, 80, 3).unwrap();
         let msg = NetMessage::Protocol(Message::Query(QueryMsg {
             id: QueryId { origin: 0, seq: 0 },
-            query: Query::builder(&two).build().unwrap(),
+            query: Query::builder(&two).build().unwrap().into(),
             sigma: None,
             level: 3,
             dims: 0b11,

@@ -34,7 +34,7 @@ fn arb_query_msg(space: Space) -> impl Strategy<Value = QueryMsg> {
     )
         .prop_map(move |(origin, seq, sigma, level, dims, ranges, dynamic, visited)| QueryMsg {
             id: QueryId { origin, seq },
-            query: Query::from_ranges(&space, ranges).expect("lo<=hi by construction"),
+            query: Query::from_ranges(&space, ranges).expect("lo<=hi by construction").into(),
             sigma,
             level,
             dims,

@@ -1,7 +1,11 @@
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use attrspace::{Point, Query, Space};
-use autosel_core::bootstrap::wire_perfect;
+use autosel_core::fasthash::FastMap;
+use std::sync::Arc;
+
+use attrspace::{Point, Query, RawValue, Space};
+use autosel_core::bootstrap::OracleWiring;
+use autosel_core::NeighborEntry;
 use autosel_core::{
     DynamicConstraint, Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector,
 };
@@ -23,6 +27,11 @@ struct SimNode {
     sent: u64,
     /// Protocol messages received.
     received: u64,
+    /// Firing time of the earliest `PollTimeouts` event queued for this
+    /// node, or `u64::MAX` when none is. One covering poll per node is
+    /// enough — it reschedules itself off `next_timeout()` — so deliveries
+    /// skip pushing redundant poll events (previously one per message).
+    next_poll: u64,
 }
 
 /// A simulated population of resource-selection nodes under virtual time.
@@ -32,21 +41,35 @@ struct SimNode {
 pub struct SimCluster {
     space: Space,
     config: SimConfig,
-    nodes: HashMap<NodeId, SimNode>,
+    nodes: FastMap<NodeId, SimNode>,
+    /// Alive node ids, kept sorted ascending — maintained incrementally on
+    /// every join/leave so the hot paths (`random_node`, oracle wiring,
+    /// churn) never re-collect and re-sort the key set.
+    sorted_ids: Vec<NodeId>,
+    /// The nodes' attribute values, flattened `dims` per node and aligned
+    /// block-for-block with `sorted_ids`. Ground-truth scans (one per
+    /// issued query, over the whole population) walk this contiguous
+    /// column instead of the node map, whose buckets hold entire
+    /// `SimNode`s. Ids arrive mostly ascending (fresh joins), so the
+    /// sorted insert is an append in the common case.
+    point_values: Vec<RawValue>,
     queue: BinaryHeap<ScheduledEvent>,
     now: u64,
     seq: u64,
     next_id: NodeId,
     rng: StdRng,
-    queries: HashMap<QueryId, QueryStats>,
-    completed: HashMap<QueryId, Vec<Match>>,
+    queries: FastMap<QueryId, QueryStats>,
+    completed: FastMap<QueryId, Vec<Match>>,
     /// Queries whose stats should be tracked (issue-time match snapshot).
-    truth: HashMap<QueryId, Query>,
+    truth: FastMap<QueryId, Query>,
     /// Installed fault plan; quiet by default.
     faults: FaultPlan,
     /// Crashed nodes remembered (id → attribute values) so a timed restart
     /// can bring them back under the same identity.
-    crashed: HashMap<NodeId, Point>,
+    crashed: FastMap<NodeId, Point>,
+    /// Reused buffer for per-message fault resolution (zero allocations on
+    /// the send path once warm).
+    delivery_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -66,17 +89,20 @@ impl SimCluster {
         SimCluster {
             space,
             config,
-            nodes: HashMap::new(),
+            nodes: FastMap::default(),
+            sorted_ids: Vec::new(),
+            point_values: Vec::new(),
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
             next_id: 0,
             rng: StdRng::seed_from_u64(seed),
-            queries: HashMap::new(),
-            completed: HashMap::new(),
-            truth: HashMap::new(),
+            queries: FastMap::default(),
+            completed: FastMap::default(),
+            truth: FastMap::default(),
             faults: FaultPlan::new(),
-            crashed: HashMap::new(),
+            crashed: FastMap::default(),
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -112,11 +138,10 @@ impl SimCluster {
     }
 
     /// Ids of all alive nodes, in ascending order (determinism: anything
-    /// that feeds the seeded RNG must enumerate in a stable order).
-    pub fn node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+    /// that feeds the seeded RNG must enumerate in a stable order). The
+    /// index is maintained incrementally — no per-call collect-and-sort.
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.sorted_ids
     }
 
     /// A uniformly random alive node.
@@ -126,8 +151,7 @@ impl SimCluster {
     /// Panics if the cluster is empty.
     pub fn random_node(&mut self) -> NodeId {
         assert!(!self.nodes.is_empty(), "empty cluster");
-        let ids = self.node_ids();
-        ids[self.rng.gen_range(0..ids.len())]
+        self.sorted_ids[self.rng.gen_range(0..self.sorted_ids.len())]
     }
 
     /// The attribute values of `id`, if alive.
@@ -147,7 +171,8 @@ impl SimCluster {
     /// Inserts a node under a caller-chosen id (fresh joins allocate one,
     /// restarts reuse the crashed identity).
     fn insert_node(&mut self, id: NodeId, point: Point) {
-        let selection = SelectionNode::new(id, &self.space, point, self.config.protocol.clone());
+        let selection =
+            SelectionNode::new(id, &self.space, point.clone(), self.config.protocol.clone());
         let gossip = if self.config.gossip_enabled {
             let mut stack = GossipStack::new(
                 id,
@@ -155,8 +180,7 @@ impl SimCluster {
                 self.config.gossip.clone(),
                 SlotSelector::default(),
             );
-            let mut existing: Vec<NodeId> = self.nodes.keys().copied().collect();
-            existing.sort_unstable();
+            let existing = &self.sorted_ids;
             for _ in 0..3.min(existing.len()) {
                 let seed = existing[self.rng.gen_range(0..existing.len())];
                 let profile = self.nodes[&seed].selection.profile();
@@ -170,7 +194,23 @@ impl SimCluster {
         } else {
             None
         };
-        self.nodes.insert(id, SimNode { selection, gossip, sent: 0, received: 0 });
+        self.nodes
+            .insert(id, SimNode { selection, gossip, sent: 0, received: 0, next_poll: u64::MAX });
+        if let Err(at) = self.sorted_ids.binary_search(&id) {
+            self.sorted_ids.insert(at, id);
+            let d = self.space.dims();
+            self.point_values.splice(at * d..at * d, point.values().iter().copied());
+        }
+    }
+
+    /// Drops `id` from the sorted alive-id index (companion of every
+    /// `nodes.remove`).
+    fn unindex(&mut self, id: NodeId) {
+        if let Ok(at) = self.sorted_ids.binary_search(&id) {
+            self.sorted_ids.remove(at);
+            let d = self.space.dims();
+            self.point_values.drain(at * d..(at + 1) * d);
+        }
     }
 
     /// Adds `n` nodes drawn from `placement`.
@@ -184,23 +224,26 @@ impl SimCluster {
     /// Oracle-wires every routing table from global knowledge (the paper's
     /// converged initial state for the static experiments).
     pub fn wire_oracle(&mut self) {
-        let ids = self.node_ids();
-        // Move the state machines out, wire them together, put them back.
-        let mut selections: Vec<SelectionNode> = Vec::with_capacity(ids.len());
-        for id in &ids {
-            let node = self.nodes.get_mut(id).expect("known id");
-            let placeholder = SelectionNode::new(
-                *id,
-                &self.space,
-                node.selection.point().clone(),
-                self.config.protocol.clone(),
-            );
-            selections.push(std::mem::replace(&mut node.selection, placeholder));
-        }
-        wire_perfect(&mut selections, &mut self.rng);
-        for sel in selections {
-            let id = sel.id();
-            self.nodes.get_mut(&id).expect("known id").selection = sel;
+        // Index the whole population once, then rewire each table in place,
+        // ascending id order (determinism: the wiring draws from the
+        // cluster RNG once per non-empty subcell slot).
+        let entries: Vec<NeighborEntry> = self
+            .sorted_ids
+            .iter()
+            .map(|id| {
+                let sel = &self.nodes[id].selection;
+                NeighborEntry {
+                    id: *id,
+                    point: sel.point().clone(),
+                    coord: sel.coord().clone(),
+                }
+            })
+            .collect();
+        let wiring = OracleWiring::new(&self.space, entries);
+        for i in 0..wiring.entries().len() {
+            let id = wiring.entries()[i].id;
+            let node = self.nodes.get_mut(&id).expect("known id");
+            wiring.wire_table(i, node.selection.routing_mut(), &mut self.rng);
         }
     }
 
@@ -237,9 +280,9 @@ impl SimCluster {
     /// Panics if `origin` is not alive.
     pub fn issue_count_query(&mut self, origin: NodeId, query: Query) -> QueryId {
         let truth = self
-            .nodes
-            .values()
-            .filter(|n| query.matches(n.selection.point()))
+            .point_values
+            .chunks_exact(self.space.dims())
+            .filter(|v| query.matches_values(v))
             .count() as u32;
         let node = self.nodes.get_mut(&origin).expect("origin alive");
         let (qid, outputs) = node.selection.begin_count_query(query.clone(), Vec::new(), self.now);
@@ -270,9 +313,9 @@ impl SimCluster {
         sigma: Option<u32>,
     ) -> QueryId {
         let truth = self
-            .nodes
-            .values()
-            .filter(|n| query.matches(n.selection.point()))
+            .point_values
+            .chunks_exact(self.space.dims())
+            .filter(|v| query.matches_values(v))
             .count() as u32;
         let node = self.nodes.get_mut(&origin).expect("origin alive");
         let (qid, outputs) =
@@ -315,6 +358,7 @@ impl SimCluster {
     /// departure). In-flight messages to it are dropped on delivery.
     pub fn kill(&mut self, id: NodeId) {
         self.nodes.remove(&id);
+        self.unindex(id);
     }
 
     /// Crashes `id`: like [`kill`](Self::kill), but the identity and
@@ -323,6 +367,7 @@ impl SimCluster {
     pub fn crash(&mut self, id: NodeId) {
         if let Some(n) = self.nodes.remove(&id) {
             self.crashed.insert(id, n.selection.point().clone());
+            self.unindex(id);
         }
     }
 
@@ -346,12 +391,13 @@ impl SimCluster {
     /// Kills a uniformly random fraction `f` of nodes at once (§6.7).
     /// Returns how many died.
     pub fn kill_fraction(&mut self, f: f64) -> usize {
-        let mut ids = self.node_ids();
+        let mut ids = self.sorted_ids.clone();
         let n = ((ids.len() as f64) * f.clamp(0.0, 1.0)).round() as usize;
         for _ in 0..n {
             let i = self.rng.gen_range(0..ids.len());
             let id = ids.swap_remove(i);
             self.nodes.remove(&id);
+            self.unindex(id);
         }
         n
     }
@@ -567,27 +613,36 @@ impl SimCluster {
         // The single fault-injection boundary: the plan turns one send into
         // zero (dropped / partitioned), one, or several (duplicated)
         // deliveries, each with its own delay.
-        let deliveries =
-            self.faults.deliveries(self.now, from, to, protocol, base, &mut self.rng);
-        let Some(&first) = deliveries.first() else { return };
-        if protocol && self.config.fail_fast_dead_links && !self.nodes.contains_key(&to) {
-            // Dead destination: the connection attempt fails after one
-            // latency sample and the sender skips the broken link.
-            self.schedule(self.now + first, EventKind::SendFailed { node: from, peer: to });
-            return;
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.faults
+            .deliveries_into(self.now, from, to, protocol, base, &mut self.rng, &mut deliveries);
+        match deliveries.first() {
+            None => {}
+            Some(&first)
+                if protocol && self.config.fail_fast_dead_links && !self.nodes.contains_key(&to) =>
+            {
+                // Dead destination: the connection attempt fails after one
+                // latency sample and the sender skips the broken link.
+                self.schedule(self.now + first, EventKind::SendFailed { node: from, peer: to });
+            }
+            Some(_) => {
+                for &d in &deliveries {
+                    self.schedule(
+                        self.now + d,
+                        EventKind::Deliver { from, to, payload: payload.clone() },
+                    );
+                }
+            }
         }
-        for d in deliveries {
-            self.schedule(
-                self.now + d,
-                EventKind::Deliver { from, to, payload: payload.clone() },
-            );
-        }
+        self.delivery_scratch = deliveries;
     }
 
     fn apply_outputs(&mut self, from: NodeId, outputs: Vec<Output>) {
         for o in outputs {
             match o {
-                Output::Send { to, msg } => self.send(from, to, Payload::Protocol(msg)),
+                Output::Send { to, msg } => {
+                    self.send(from, to, Payload::Protocol(Arc::new(msg)));
+                }
                 Output::Completed { id, matches, count } => {
                     if let Some(stats) = self.queries.get_mut(&id) {
                         stats.completed = true;
@@ -618,6 +673,9 @@ impl SimCluster {
                         self.record_receipt(to, &msg);
                         let node = self.nodes.get_mut(&to).expect("alive");
                         node.received += 1;
+                        // Sole owner in the common (non-duplicated) case:
+                        // unwrap without copying.
+                        let msg = Arc::try_unwrap(msg).unwrap_or_else(|a| (*a).clone());
                         let outputs = node.selection.handle_message(from, msg, self.now);
                         self.apply_outputs(to, outputs);
                         // Ensure a timeout poll is scheduled for new waits.
@@ -626,12 +684,13 @@ impl SimCluster {
                     Payload::Gossip(msg) => {
                         let node = self.nodes.get_mut(&to).expect("alive");
                         let Some(stack) = node.gossip.as_mut() else { return };
+                        let msg = Arc::try_unwrap(msg).unwrap_or_else(|a| (*a).clone());
                         let replies = stack.handle(from, msg, &mut self.rng);
                         // Routing tables follow the semantic view.
                         let view = stack.semantic_view().clone();
                         node.selection.sync_from_view(&view, &mut self.rng);
                         for (dst, m) in replies {
-                            self.send(to, dst, Payload::Gossip(m));
+                            self.send(to, dst, Payload::Gossip(Arc::new(m)));
                         }
                     }
                 }
@@ -644,15 +703,18 @@ impl SimCluster {
                 n.selection.sync_from_view(&view, &mut self.rng);
                 let period = self.config.gossip.period_ms;
                 for (dst, m) in msgs {
-                    self.send(node, dst, Payload::Gossip(m));
+                    self.send(node, dst, Payload::Gossip(Arc::new(m)));
                 }
                 self.schedule(self.now + period, EventKind::GossipTick { node });
             }
             EventKind::PollTimeouts { node } => {
                 let Some(n) = self.nodes.get_mut(&node) else { return };
+                n.next_poll = u64::MAX;
                 let outputs = n.selection.poll_timeouts(self.now);
                 if let Some(at) = n.selection.next_timeout() {
-                    self.schedule(at.max(self.now + 1), EventKind::PollTimeouts { node });
+                    let at = at.max(self.now + 1);
+                    n.next_poll = at;
+                    self.schedule(at, EventKind::PollTimeouts { node });
                 }
                 self.apply_outputs(node, outputs);
             }
@@ -682,11 +744,19 @@ impl SimCluster {
     /// lost would strand its pending state forever (the leak
     /// [`InvariantChecker`] exists to catch).
     fn schedule_timeout_poll(&mut self, node: NodeId) {
-        if let Some(n) = self.nodes.get(&node) {
-            if let Some(at) = n.selection.next_timeout() {
-                self.schedule(at.max(self.now + 1), EventKind::PollTimeouts { node });
+        let at = {
+            let Some(n) = self.nodes.get_mut(&node) else { return };
+            let Some(at) = n.selection.next_timeout() else { return };
+            let at = at.max(self.now + 1);
+            // An earlier-or-equal poll is already queued and will cover this
+            // deadline (it reschedules itself) — skip the redundant event.
+            if n.next_poll <= at {
+                return;
             }
-        }
+            n.next_poll = at;
+            at
+        };
+        self.schedule(at, EventKind::PollTimeouts { node });
     }
 
     fn record_receipt(&mut self, to: NodeId, msg: &Message) {
@@ -767,10 +837,11 @@ mod tests {
         let mut sim = SimCluster::new(s, SimConfig::default(), 4);
         sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 100);
         let before: std::collections::HashSet<NodeId> =
-            sim.node_ids().into_iter().collect();
+            sim.node_ids().iter().copied().collect();
         sim.churn_step(0.1, &Placement::Uniform { lo: 0, hi: 80 });
         assert_eq!(sim.len(), 100);
-        let after: std::collections::HashSet<NodeId> = sim.node_ids().into_iter().collect();
+        let after: std::collections::HashSet<NodeId> =
+            sim.node_ids().iter().copied().collect();
         assert_eq!(after.difference(&before).count(), 10, "10 fresh identities");
     }
 

@@ -1,4 +1,5 @@
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use autosel_core::Message;
 use autosel_core::NodeProfile;
@@ -6,11 +7,14 @@ use epigossip::{GossipMessage, NodeId};
 
 use crate::faults::NodeEventKind;
 
-/// A payload in flight between two nodes.
+/// A payload in flight between two nodes. `Arc`-backed so that scheduling a
+/// delivery (or a fault-injected duplicate) is a refcount bump instead of a
+/// deep clone of the message body; the receiver unwraps the sole reference
+/// at dispatch time without copying.
 #[derive(Debug, Clone)]
 pub(crate) enum Payload {
-    Protocol(Message),
-    Gossip(GossipMessage<NodeProfile>),
+    Protocol(Arc<Message>),
+    Gossip(Arc<GossipMessage<NodeProfile>>),
 }
 
 /// A scheduled simulator event.

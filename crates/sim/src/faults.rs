@@ -318,6 +318,7 @@ impl FaultPlan {
     /// `base` delay, returns the relative delay of every copy to deliver.
     /// Empty means the message was dropped (or partitioned away); more
     /// than one entry means it was duplicated.
+    #[cfg(test)]
     pub(crate) fn deliveries<R: Rng + ?Sized>(
         &self,
         now: u64,
@@ -327,10 +328,30 @@ impl FaultPlan {
         base: u64,
         rng: &mut R,
     ) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.deliveries_into(now, from, to, protocol, base, rng, &mut out);
+        out
+    }
+
+    /// [`Self::deliveries`] writing into a caller-owned buffer, so the
+    /// per-message hot path ([`crate::SimCluster`]'s `send`) reuses one
+    /// allocation for the life of the run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn deliveries_into<R: Rng + ?Sized>(
+        &self,
+        now: u64,
+        from: NodeId,
+        to: NodeId,
+        protocol: bool,
+        base: u64,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
         if self.partitions.iter().any(|p| p.severs(now, from, to)) {
-            return Vec::new();
+            return;
         }
-        let mut out = vec![base];
+        out.push(base);
         for rule in &self.rules {
             if !rule.window.contains(now) || !rule.scope.matches(from, to, protocol) {
                 continue;
@@ -338,13 +359,14 @@ impl FaultPlan {
             match rule.action {
                 Action::Drop { p } => {
                     if rng.gen_bool(p) {
-                        return Vec::new();
+                        out.clear();
+                        return;
                     }
                 }
                 Action::Delay { p, lo, hi } => {
                     if rng.gen_bool(p) {
                         let extra = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
-                        for d in &mut out {
+                        for d in out.iter_mut() {
                             *d += extra;
                         }
                     }
@@ -357,7 +379,7 @@ impl FaultPlan {
                     }
                 }
                 Action::Reorder { p, window } => {
-                    for d in &mut out {
+                    for d in out.iter_mut() {
                         if rng.gen_bool(p) {
                             *d += rng.gen_range(0..=window);
                         }
@@ -365,7 +387,6 @@ impl FaultPlan {
                 }
             }
         }
-        out
     }
 }
 

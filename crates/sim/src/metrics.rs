@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use autosel_core::fasthash::FastSet;
 
 use epigossip::NodeId;
 
@@ -18,7 +18,7 @@ pub struct QueryStats {
     pub sigma: Option<u32>,
     /// Matching nodes that actually received the QUERY message (plus the
     /// origin if it matched) — the numerator of the paper's *delivery*.
-    pub matched_reached: HashSet<NodeId>,
+    pub matched_reached: FastSet<NodeId>,
     /// QUERY deliveries to nodes that did **not** match — the paper's
     /// *routing overhead* (§6: "hops traveled by a query through nodes that
     /// did not match the query themselves").
@@ -34,7 +34,7 @@ pub struct QueryStats {
     /// Matches reported to the originator at completion.
     pub reported: u32,
     /// Every node that received the QUERY message (for duplicate detection).
-    pub(crate) receivers: HashSet<NodeId>,
+    pub(crate) receivers: FastSet<NodeId>,
 }
 
 impl QueryStats {
@@ -43,14 +43,14 @@ impl QueryStats {
             issued_at,
             truth,
             sigma: None,
-            matched_reached: HashSet::new(),
+            matched_reached: FastSet::default(),
             overhead: 0,
             duplicates: 0,
             messages: 0,
             completed: false,
             completed_at: None,
             reported: 0,
-            receivers: HashSet::new(),
+            receivers: FastSet::default(),
         }
     }
 
@@ -67,6 +67,32 @@ impl QueryStats {
         } else {
             self.matched_reached.len() as f64 / f64::from(self.truth)
         }
+    }
+
+    /// A canonical, byte-stable rendering of every field (sets are sorted).
+    /// Two runs are byte-identical iff their fingerprints are equal — this is
+    /// what the golden-determinism tests and `sweepbench`'s serial-vs-parallel
+    /// check compare, because `Debug` on the inner `HashSet`s has no stable
+    /// order.
+    pub fn fingerprint(&self) -> String {
+        let mut matched: Vec<NodeId> = self.matched_reached.iter().copied().collect();
+        matched.sort_unstable();
+        let mut receivers: Vec<NodeId> = self.receivers.iter().copied().collect();
+        receivers.sort_unstable();
+        format!(
+            "issued={};truth={};sigma={:?};matched={:?};overhead={};dups={};msgs={};done={};done_at={:?};reported={};recv={:?}",
+            self.issued_at,
+            self.truth,
+            self.sigma,
+            matched,
+            self.overhead,
+            self.duplicates,
+            self.messages,
+            self.completed,
+            self.completed_at,
+            self.reported,
+            receivers,
+        )
     }
 }
 

@@ -23,8 +23,7 @@ fn run_scenario(seed: u64) -> (Vec<u64>, f64, u64, u64) {
     let qid = sim.issue_query(origin, query, None);
     sim.run_until(60_000);
     let st = sim.query_stats(qid).unwrap();
-    let mut ids = sim.node_ids();
-    ids.sort_unstable();
+    let ids = sim.node_ids().to_vec();
     (ids, st.delivery(), st.messages, st.overhead)
 }
 

@@ -8,7 +8,7 @@
 //! simulator replays identically — see `docs/TESTING.md`).
 
 use attrspace::{Query, Space};
-use overlay_sim::faults::{FaultPlan, Window};
+use overlay_sim::faults::{Action, FaultPlan, FaultRule, Scope, Window};
 use overlay_sim::invariants::InvariantViolation;
 use overlay_sim::{
     InvariantChecker, LatencyModel, Placement, QueryStats, SimCluster, SimConfig,
@@ -164,7 +164,7 @@ fn timeouts_fire_under_loss_only() {
 fn partition_severs_then_heals() {
     for &seed in &SEEDS {
         let (mut sim, space) = build(seed, 210);
-        let ids = sim.node_ids();
+        let ids = sim.node_ids().to_vec();
         let island: Vec<u64> = ids.iter().copied().take(70).collect();
         // The window must outlast the first query's timeout recovery (serial
         // 8 s waits): make it enormous and assert below that the query in
@@ -215,7 +215,7 @@ fn partition_severs_then_heals() {
 fn massive_failure_degrades_then_repair_restores_delivery() {
     for &seed in &SEEDS {
         let (mut sim, space) = build(seed, 200);
-        let victims: Vec<u64> = sim.node_ids().into_iter().filter(|id| id % 3 == 0).collect();
+        let victims: Vec<u64> = sim.node_ids().iter().copied().filter(|id| id % 3 == 0).collect();
         let mut plan = FaultPlan::new();
         for &v in &victims {
             plan = plan.crash(1_000, v);
@@ -396,5 +396,49 @@ fn duplicates_do_not_corrupt_results() {
         assert_eq!(ids.len(), matches.len(), "a node was reported twice");
         assert!(matches.iter().all(|m| query.matches(&m.values)), "phantom match reported");
         assert_eq!(sim.pending_total(), 0);
+    }
+}
+
+/// Count-mode totals must survive duplicated REPLY deliveries. A count
+/// carries no node identities, so the upstream cannot dedup it the way
+/// enumerate mode dedups matches — the waiting set is the only witness
+/// that a subtree was already merged. Regression test: every reply link
+/// into the origin is duplicated, and the reported total must still equal
+/// the ground truth (it used to be added once per delivered copy).
+#[test]
+fn count_queries_stay_exact_under_reply_duplication() {
+    for &seed in &SEEDS {
+        let (mut sim, space) = build(seed, 200);
+        let origin = sim.random_node();
+        let mut plan = FaultPlan::new();
+        for id in sim.node_ids().to_vec() {
+            if id != origin {
+                // Traffic on `id → origin` is exclusively REPLY messages:
+                // the origin issues the query, so QUERY copies only ever
+                // leave it (a forward back *to* the origin is answered
+                // empty by its seen-set, which is also reply traffic).
+                plan = plan.rule(FaultRule {
+                    window: Window::ALWAYS,
+                    scope: Scope::Link { from: id, to: origin },
+                    action: Action::Duplicate { p: 1.0, copies: 1 },
+                });
+            }
+        }
+        sim.set_fault_plan(plan);
+        let mut checker = InvariantChecker::relaxed();
+        let qid = sim.issue_count_query(origin, half_space_query(&space));
+        sim.run_to_quiescence_checked(&mut checker)
+            .unwrap_or_else(|v| panic!("invariant violated under seed {seed}: {v}"));
+        let st = sim.query_stats(qid).unwrap();
+        assert!(st.completed, "seed {seed}: count query never completed");
+        // `st.duplicates` only counts duplicate QUERY receipts; duplicated
+        // replies are invisible to it. The origin having forwarded at all
+        // (messages > 0) guarantees it received every reply twice.
+        assert!(st.messages > 0, "seed {seed}: query never left the origin");
+        assert!(st.truth > 1, "seed {seed}: trivial ground truth proves nothing");
+        assert_eq!(
+            st.reported, st.truth,
+            "seed {seed}: duplicated replies were double-counted"
+        );
     }
 }

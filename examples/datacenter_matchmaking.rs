@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fast to gossip, so queries check it *locally* on each candidate.
     // Mark every third host as currently overloaded.
     const CURRENT_LOAD: u32 = 0;
-    for (i, id) in cluster.node_ids().into_iter().enumerate() {
+    for (i, id) in cluster.node_ids().to_vec().into_iter().enumerate() {
         cluster.set_dynamic(id, CURRENT_LOAD, if i % 3 == 0 { 95 } else { 10 });
     }
 

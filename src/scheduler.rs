@@ -93,7 +93,7 @@ impl Scheduler {
     /// slots (advertised immediately as a dynamic attribute).
     pub fn new(mut cluster: SimCluster, slots_per_node: u32) -> Self {
         let mut slots = HashMap::new();
-        for id in cluster.node_ids() {
+        for id in cluster.node_ids().to_vec() {
             cluster.set_dynamic(id, FREE_SLOTS_KEY, u64::from(slots_per_node));
             slots.insert(id, slots_per_node);
         }
@@ -261,7 +261,7 @@ mod tests {
     fn extra_dynamic_requirements_apply() {
         let (mut s, space) = scheduler(120, 1);
         // Advertise a GPU on a handful of machines.
-        let ids = s.cluster_mut().node_ids();
+        let ids = s.cluster_mut().node_ids().to_vec();
         for (i, id) in ids.iter().enumerate() {
             if i % 10 == 0 {
                 s.cluster_mut().set_dynamic(*id, 42, 1);
