@@ -8,6 +8,7 @@ use bench::experiments::fig06;
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let sizes: Vec<usize> = [100, 1_000, 10_000, 100_000]
         .iter()
         .map(|&n: &usize| if n <= 1_000 { n } else { scaled(n) })

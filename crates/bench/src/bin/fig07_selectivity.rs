@@ -11,6 +11,7 @@ use bench::experiments::fig07;
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let fs = [0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0];
     for (label, n, queries) in [("PeerSim", scaled(100_000), 12), ("DAS", 1_000, 20)] {
         print_table1(n);

@@ -8,6 +8,7 @@ use bench::experiments::fig08;
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let dims = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20];
     for (label, n, queries) in [("PeerSim", scaled(100_000), 30), ("DAS", 1_000, 40)] {
         print_table1(n);

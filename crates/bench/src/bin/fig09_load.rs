@@ -13,6 +13,7 @@ use bench::{print_table1, scaled};
 use overlay_sim::Placement;
 
 fn main() {
+    bench::stats_json::init_from_args();
     let n = scaled(10_000);
     print_table1(n);
 

@@ -10,6 +10,7 @@ use bench::experiments::{fig10a, fig10b};
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let n = scaled(100_000);
     print_table1(n);
     println!("# Figure 10(a): mean links per node vs. dimensions (N={n})");

@@ -10,6 +10,7 @@ use bench::sweep::{run_parallel, threads};
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let n = scaled(20_000);
     print_table1(n);
     // Both churn rates run as independent sweep jobs; output stays in rate

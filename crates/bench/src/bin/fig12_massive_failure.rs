@@ -9,6 +9,7 @@ use bench::sweep::{run_parallel, threads};
 use bench::{print_table1, scaled};
 
 fn main() {
+    bench::stats_json::init_from_args();
     let n = scaled(20_000);
     print_table1(n);
     // The two failure fractions are independent sweep jobs.

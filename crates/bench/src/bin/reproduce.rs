@@ -12,6 +12,7 @@ use bench::{print_table1, scaled};
 use overlay_sim::Placement;
 
 fn main() -> std::io::Result<()> {
+    bench::stats_json::init_from_args();
     let big = scaled(100_000);
     print_table1(big);
 

@@ -6,7 +6,8 @@
 //! 1. **Single-run wall clock** — one oracle-wired static cluster of
 //!    N ∈ `AUTOSEL_BENCH_N` nodes (default `1000,5000,10000`), 40 σ=50
 //!    best-case queries run to quiescence. Each point runs twice with the
-//!    same seed and the per-query [`QueryStats`] fingerprints must match,
+//!    same seed and the per-query [`QueryStats`](overlay_sim::QueryStats)
+//!    fingerprints must match,
 //!    so every benchmark run is also a determinism check.
 //! 2. **Sweep scaling** — a fig06-style (size × seed) grid executed by the
 //!    deterministic parallel runner ([`bench::sweep`]) once on 1 thread and

@@ -1,0 +1,210 @@
+//! Record and inspect causal query traces.
+//!
+//! Three modes:
+//!
+//! ```text
+//! tracedump --record <path> [--duplicate] [--seed S] [--nodes N] [--queries Q]
+//! tracedump --check <path>
+//! tracedump <path>
+//! ```
+//!
+//! `--record` runs a small traced simulation (half-space queries over an
+//! oracle-wired static overlay) with a [`JsonlSink`] installed and writes
+//! the event stream to `<path>`; `--duplicate` additionally injects the
+//! fault-matrix duplication plan (every protocol message has a 25% chance
+//! of a second copy) so the resulting trace exercises the `!dup` flags.
+//!
+//! `--check` parses the trace and validates it: every line well-formed
+//! against the closed event schema, every causal parent resolving to a
+//! recorded hop, exactly one root per query. Exit status 1 on any problem —
+//! this is the CI `obs-smoke` gate.
+//!
+//! The default mode renders each query's depth-first routing tree as an
+//! indented ASCII tree with per-hop latency and overhead annotations;
+//! duplicate deliveries, timed-out links, stale replies and leaked pending
+//! state are flagged inline on the offending hop.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use attrspace::{Query, Space};
+use autosel_obs::{jsonl::parse_trace, Event, JsonlSink, ObsHandle, TraceTree};
+use overlay_sim::faults::FaultPlan;
+use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
+
+struct Args {
+    record: Option<String>,
+    check: Option<String>,
+    render: Option<String>,
+    duplicate: bool,
+    seed: u64,
+    nodes: usize,
+    queries: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracedump --record <path> [--duplicate] [--seed S] [--nodes N] [--queries Q]\n\
+         \x20      tracedump --check <path>\n\
+         \x20      tracedump <path>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        record: None,
+        check: None,
+        render: None,
+        duplicate: false,
+        seed: 11,
+        nodes: 120,
+        queries: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--record" => args.record = Some(value("--record")),
+            "--check" => args.check = Some(value("--check")),
+            "--duplicate" => args.duplicate = true,
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: u64"),
+            "--nodes" => args.nodes = value("--nodes").parse().expect("--nodes: usize"),
+            "--queries" => args.queries = value("--queries").parse().expect("--queries: usize"),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && args.render.is_none() => {
+                args.render = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if args.record.is_none() && args.check.is_none() && args.render.is_none() {
+        usage()
+    }
+    args
+}
+
+/// Runs the traced simulation and streams its events to `path`.
+fn record(path: &str, args: &Args) -> std::io::Result<()> {
+    let space = Space::uniform(3, 80, 3).expect("space");
+    // Non-zero latency so hop arrows carry visible per-hop delay, and a
+    // T(q) large enough that the quiet run never fires timeouts.
+    let mut cfg = SimConfig::fast_static();
+    cfg.protocol.query_timeout_ms = 8_000;
+    cfg.latency = LatencyModel::Constant { ms: 5 };
+
+    let mut sim = SimCluster::new(space.clone(), cfg, args.seed);
+    sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, args.nodes);
+    sim.wire_oracle();
+    let sink = Arc::new(JsonlSink::create(Path::new(path))?);
+    sim.set_observer(ObsHandle::new(sink.clone()));
+    if args.duplicate {
+        sim.set_fault_plan(FaultPlan::new().duplicate_protocol(0.25, 1));
+    }
+
+    for _ in 0..args.queries {
+        let origin = sim.random_node();
+        let q = Query::builder(&space).min("a0", 40).build().expect("query");
+        let qid = sim.issue_query(origin, q, None);
+        sim.run_to_quiescence();
+        sim.forget_query(qid);
+    }
+    sink.flush()?;
+    if sink.io_errors() > 0 {
+        return Err(std::io::Error::other(format!(
+            "{} event writes failed",
+            sink.io_errors()
+        )));
+    }
+    eprintln!(
+        "recorded {} nodes x {} queries (seed {}, duplication {}) -> {path}",
+        args.nodes,
+        args.queries,
+        args.seed,
+        if args.duplicate { "on" } else { "off" },
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<(Vec<Event>, TraceTree), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = parse_trace(&text)?;
+    let tree = TraceTree::new();
+    for ev in &events {
+        tree.apply(ev);
+    }
+    Ok((events, tree))
+}
+
+/// Validates `path`; returns process-exit success.
+fn check(path: &str) -> bool {
+    let (events, tree) = match load(path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("tracedump: malformed trace: {e}");
+            return false;
+        }
+    };
+    let queries = tree.queries();
+    let problems = tree.problems();
+    println!(
+        "{path}: {} events, {} queries, {} problems",
+        events.len(),
+        queries.len(),
+        problems.len()
+    );
+    for q in &queries {
+        if let Some(s) = tree.summary(*q) {
+            println!(
+                "  {q}: {} hops, depth {}, {} matched, {} dups, {} timeouts, {} leaked",
+                s.hops, s.depth, s.matched, s.duplicates, s.timeouts, s.leaked
+            );
+        }
+    }
+    for p in &problems {
+        eprintln!("  problem: {p}");
+    }
+    problems.is_empty()
+}
+
+fn render(path: &str) -> bool {
+    match load(path) {
+        Ok((_, tree)) => {
+            print!("{}", tree.render_all());
+            let problems = tree.problems();
+            for p in &problems {
+                eprintln!("problem: {p}");
+            }
+            problems.is_empty()
+        }
+        Err(e) => {
+            eprintln!("tracedump: malformed trace: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.record {
+        if let Err(e) = record(path, &args) {
+            eprintln!("tracedump: record failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ok = if let Some(path) = &args.check {
+        check(path)
+    } else {
+        render(args.render.as_deref().expect("mode"))
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

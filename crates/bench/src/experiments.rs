@@ -44,6 +44,7 @@ pub fn mean_overhead(
         let qid = sim.issue_query(origin, q, sigma);
         sim.run_to_quiescence();
         let st = sim.query_stats(qid).expect("stats");
+        crate::stats_json::record(st);
         assert_eq!(st.duplicates, 0, "§6: never a duplicate receipt");
         assert!(
             sigma.is_some() || st.delivery() == 1.0,
@@ -200,6 +201,7 @@ pub fn fig09a_series(
         let origin = sim.random_node();
         let qid = sim.issue_query(origin, q, Some(DEFAULT_SIGMA));
         sim.run_to_quiescence();
+        crate::stats_json::record(sim.query_stats(qid).expect("stats"));
         sim.forget_query(qid);
     }
     let hist = sim.load_histogram();
@@ -242,6 +244,7 @@ pub fn fig09b(hosts: usize, queries: usize, seed: u64) -> Fig09bResult {
         let origin = sim.random_node();
         let qid = sim.issue_query(origin, q.clone(), Some(DEFAULT_SIGMA));
         sim.run_to_quiescence();
+        crate::stats_json::record(sim.query_stats(qid).expect("stats"));
         sim.forget_query(qid);
     }
     let ours_hist = sim.load_histogram();
@@ -392,8 +395,9 @@ pub fn fig11(n: usize, rate: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f64)> 
         // Harvest queries 120 s old.
         open.retain(|&(issued, qid)| {
             if t >= issued + 120_000 {
-                let d = sim.query_stats(qid).expect("stats").delivery();
-                out.push((issued / 1000, d));
+                let st = sim.query_stats(qid).expect("stats");
+                crate::stats_json::record(st);
+                out.push((issued / 1000, st.delivery()));
                 sim.forget_query(qid);
                 false
             } else {
@@ -404,8 +408,9 @@ pub fn fig11(n: usize, rate: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f64)> 
         sim.run_until(t0 + t);
     }
     for (issued, qid) in open {
-        let d = sim.query_stats(qid).expect("stats").delivery();
-        out.push((issued / 1000, d));
+        let st = sim.query_stats(qid).expect("stats");
+        crate::stats_json::record(st);
+        out.push((issued / 1000, st.delivery()));
         sim.forget_query(qid);
     }
     out.sort_unstable_by_key(|&(t, _)| t);
@@ -442,8 +447,9 @@ pub fn fig12(n: usize, fraction: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f6
         }
         open.retain(|&(issued, qid)| {
             if t >= issued + 120_000 {
-                let d = sim.query_stats(qid).expect("stats").delivery();
-                out.push((issued / 1000, d));
+                let st = sim.query_stats(qid).expect("stats");
+                crate::stats_json::record(st);
+                out.push((issued / 1000, st.delivery()));
                 sim.forget_query(qid);
                 false
             } else {
@@ -454,7 +460,9 @@ pub fn fig12(n: usize, fraction: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f6
         sim.run_until(t0 + t);
     }
     for (issued, qid) in open {
-        out.push((issued / 1000, sim.query_stats(qid).expect("stats").delivery()));
+        let st = sim.query_stats(qid).expect("stats");
+        crate::stats_json::record(st);
+        out.push((issued / 1000, st.delivery()));
         sim.forget_query(qid);
     }
     out.sort_unstable_by_key(|&(t, _)| t);
@@ -484,7 +492,9 @@ pub fn fig13_sim(n: usize, waves: usize, wave_interval_s: u64, seed: u64) -> Vec
             let origin = sim.random_node();
             let qid = sim.issue_query(origin, q, None);
             sim.run_until(t0 + t + 120_000);
-            out.push((t / 1000, sim.query_stats(qid).expect("stats").delivery()));
+            let st = sim.query_stats(qid).expect("stats");
+            crate::stats_json::record(st);
+            out.push((t / 1000, st.delivery()));
             sim.forget_query(qid);
             t += 120_000;
             sim.run_until(t0 + t);

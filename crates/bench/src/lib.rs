@@ -10,6 +10,7 @@
 //! the network").
 
 pub mod experiments;
+pub mod stats_json;
 pub mod sweep;
 pub mod table;
 

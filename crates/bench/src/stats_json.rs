@@ -1,0 +1,61 @@
+//! Optional per-query stats dump for the figure and `reproduce` binaries.
+//!
+//! Passing `--stats-json <path>` on any of those binaries streams one flat
+//! JSON object per tracked query (see [`QueryStats::to_json`]) to `<path>`,
+//! one per line. The dump is append-only and process-global so the
+//! experiment runners — which fan out across the [`crate::sweep`] worker
+//! threads — can record from anywhere without threading a sink through
+//! every signature. Lines are written atomically under a lock, but their
+//! *order* follows completion order, not issue order, when several
+//! experiments run in parallel.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::Mutex;
+
+use overlay_sim::QueryStats;
+
+// Unbuffered on purpose: one `write` per line means nothing is lost when a
+// binary exits without an explicit flush, and the volume (one line per
+// query) is far too low for syscall overhead to matter.
+static SINK: Mutex<Option<File>> = Mutex::new(None);
+
+/// Opens `path` (truncating) and starts recording. Replaces any previous
+/// sink.
+///
+/// # Errors
+///
+/// Propagates the file-creation error.
+pub fn init(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("stats sink poisoned") = Some(file);
+    Ok(())
+}
+
+/// Scans the process arguments for `--stats-json <path>` and, when present,
+/// calls [`init`]. Every figure binary calls this first thing in `main`;
+/// unknown arguments are left alone for the binary's own parsing.
+///
+/// # Panics
+///
+/// Panics if the flag is given without a path or the file cannot be created
+/// (an operator error worth failing loudly on, before minutes of sweeps).
+pub fn init_from_args() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--stats-json" {
+            let path = args.next().expect("--stats-json requires a path");
+            init(&path).expect("cannot create --stats-json file");
+            return;
+        }
+    }
+}
+
+/// Records one query's stats if a sink is active; no-op (and no formatting
+/// work beyond the lock probe) otherwise.
+pub fn record(stats: &QueryStats) {
+    let mut guard = SINK.lock().expect("stats sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{}", stats.to_json());
+    }
+}

@@ -233,7 +233,16 @@ impl OracleWiring {
     /// Slots are visited level-ascending, dimension-ascending, drawing from
     /// `rng` once per non-empty subcell — callers that fix the entry order
     /// and the RNG replay the exact same wiring.
-    pub fn wire_table<R: Rng + ?Sized>(&self, i: usize, table: &mut RoutingTable, rng: &mut R) {
+    ///
+    /// Returns the number of links wired (slot links + `C0` links), so
+    /// drivers can report the bootstrap as an initial view change without
+    /// re-walking the table.
+    pub fn wire_table<R: Rng + ?Sized>(
+        &self,
+        i: usize,
+        table: &mut RoutingTable,
+        rng: &mut R,
+    ) -> usize {
         match &self.index {
             GroupIndex::Dense(g) => self.wire_dense(g, i, table, rng),
             GroupIndex::Packed(g) => {
@@ -252,6 +261,7 @@ impl OracleWiring {
                 });
             }
         }
+        table.link_count()
     }
 
     /// [`wire_with`](Self::wire_with) over direct-indexed tables: same

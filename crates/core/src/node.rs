@@ -2,6 +2,7 @@ use crate::fasthash::{FastMap, FastSet};
 use std::sync::Arc;
 
 use attrspace::{CellCoord, Level, Point, Query, Space, SubcellIndex};
+use autosel_obs::{Event, ObsHandle, QueryRef};
 use epigossip::{NodeId, View};
 use rand::Rng;
 
@@ -141,6 +142,15 @@ pub struct SelectionNode {
     seq: u32,
     duplicate_receipts: u64,
     timeouts_fired: u64,
+    /// Observability sink; null by default (one dead branch per emission).
+    obs: ObsHandle,
+}
+
+/// Bridges a protocol [`QueryId`] to the observability layer's primitive
+/// reference (the obs crate sits below this one and knows no protocol
+/// types).
+fn qref(id: QueryId) -> QueryRef {
+    QueryRef::new(id.origin, id.seq)
 }
 
 impl SelectionNode {
@@ -167,7 +177,15 @@ impl SelectionNode {
             seq: 0,
             duplicate_receipts: 0,
             timeouts_fired: 0,
+            obs: ObsHandle::null(),
         }
+    }
+
+    /// Installs an observability sink. The default is the null handle;
+    /// observers are passive (they never alter protocol behaviour), so this
+    /// can be called at any point in a node's life.
+    pub fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// This node's id.
@@ -219,6 +237,14 @@ impl SelectionNode {
     /// Number of `T(q)` expirations this node has fired (each is one
     /// neighbor presumed dead and skipped). Drivers use this to tell
     /// timeout-driven recovery apart from clean traversals.
+    ///
+    /// A dimensionless event count (not a duration), monotone over the
+    /// node's lifetime: it is **never reset** — not by query completion,
+    /// not by [`set_point`](Self::set_point) — and only returns to zero
+    /// when the node value itself is rebuilt (e.g. a simulated
+    /// crash-restart constructs a fresh `SelectionNode`). Each fired
+    /// timeout is also emitted as an [`Event::TimeoutFired`] when an
+    /// observer is installed.
     pub fn timeouts_fired(&self) -> u64 {
         self.timeouts_fired
     }
@@ -227,12 +253,26 @@ impl SelectionNode {
     /// marks queries this node originated. An external checker can stitch
     /// these per-query edges together cluster-wide and assert the reply
     /// routing forms a forest (acyclic, rooted at originators).
+    ///
+    /// A point-in-time snapshot in no particular order: each entry exists
+    /// only while its query is pending here and disappears when the query
+    /// concludes (replied upstream, completed locally, or timed out) —
+    /// there is no history and nothing accumulates.
     pub fn pending_upstreams(&self) -> Vec<(QueryId, Option<NodeId>)> {
         self.pending.iter().map(|(&q, p)| (q, p.reply_to)).collect()
     }
 
     /// Peers this node is still waiting on for query `id`, with their reply
     /// deadlines. Empty when the query is unknown or fully answered.
+    ///
+    /// Deadlines are **absolute timestamps in milliseconds on the driver's
+    /// clock** — the same clock whose `now` values are passed into
+    /// [`handle_message`](Self::handle_message) (virtual time under the
+    /// simulator, wall-clock milliseconds under the network runtime) — not
+    /// durations remaining. An entry is removed the moment the peer
+    /// answers, is declared unreachable, or its deadline expires in
+    /// [`poll_timeouts`](Self::poll_timeouts); entries never persist past
+    /// their query's conclusion.
     pub fn waiting_on(&self, id: QueryId) -> Vec<(NodeId, u64)> {
         self.pending
             .get(&id)
@@ -276,13 +316,27 @@ impl SelectionNode {
                 .all(|c| c.satisfied_by(self.dynamic.get(&c.key).copied()))
     }
 
-    /// Rebuilds the routing table from a gossip semantic view.
-    pub fn sync_from_view<R: Rng + ?Sized>(&mut self, view: &View<NodeProfile>, rng: &mut R) {
+    /// Rebuilds the routing table from a gossip semantic view. `now` is
+    /// only used to timestamp the [`Event::ViewChange`] emission; the
+    /// rebuild itself is time-independent.
+    pub fn sync_from_view<R: Rng + ?Sized>(
+        &mut self,
+        view: &View<NodeProfile>,
+        now: u64,
+        rng: &mut R,
+    ) {
         let candidates: Vec<(NodeId, Point)> = view
             .iter()
             .map(|d| (d.id, d.profile.point().clone()))
             .collect();
-        self.routing.rebuild(candidates, rng);
+        let changed = self.routing.rebuild(candidates, rng);
+        self.obs.emit(|| Event::ViewChange {
+            at: now,
+            node: self.id,
+            links: self.routing.link_count() as u32,
+            zero: (self.routing.total_slots() - self.routing.slot_count()) as u32,
+            changed: changed as u32,
+        });
     }
 
     /// Issues a new query from this node (the paper's `create_QUERY`): the
@@ -387,12 +441,18 @@ impl SelectionNode {
                 p.waiting.remove(&peer);
                 self.timeouts_fired += 1;
                 self.routing.remove(peer);
+                self.obs.emit(|| Event::TimeoutFired {
+                    at: now,
+                    query: qref(qid),
+                    node: self.id,
+                    peer,
+                });
                 out.push(Output::NeighborFailed(peer));
             }
             let p = self.pending.get(&qid).expect("still pending");
             if p.waiting.is_empty() {
                 if p.sigma_met() {
-                    out.extend(self.conclude(qid));
+                    out.extend(self.conclude(qid, now));
                 } else {
                     out.extend(self.continue_query(qid, now));
                 }
@@ -419,9 +479,18 @@ impl SelectionNode {
         for qid in qids {
             let p = self.pending.get_mut(&qid).expect("just listed");
             p.waiting.remove(&peer);
+            // Same signal as a `T(q)` expiry, just discovered sooner: the
+            // trace records both as "stopped waiting on `peer`".
+            self.obs.emit(|| Event::TimeoutFired {
+                at: now,
+                query: qref(qid),
+                node: self.id,
+                peer,
+            });
+            let p = self.pending.get(&qid).expect("just listed");
             if p.waiting.is_empty() {
                 if p.sigma_met() {
-                    out.extend(self.conclude(qid));
+                    out.extend(self.conclude(qid, now));
                 } else {
                     out.extend(self.continue_query(qid, now));
                 }
@@ -436,6 +505,17 @@ impl SelectionNode {
             // Duplicate delivery (e.g. an upstream retry): answer empty so
             // the sender's waiting set clears, and never re-process.
             self.duplicate_receipts += 1;
+            if let Some(from) = from {
+                self.obs.emit(|| Event::QueryReceived {
+                    at: now,
+                    query: qref(msg.id),
+                    node: self.id,
+                    parent: from,
+                    level: msg.level,
+                    matched: false,
+                    duplicate: true,
+                });
+            }
             return match from {
                 Some(from) => vec![Output::Send {
                     to: from,
@@ -471,14 +551,35 @@ impl SelectionNode {
             contacted_zero: FastSet::default(),
             visited_zero: msg.visited_zero.into_iter().collect(),
         };
-        if self.matches_fully(&p.query, &p.dynamic) {
+        let matched = self.matches_fully(&p.query, &p.dynamic);
+        if matched {
             p.add_match(Match { node: self.id, values: self.point.clone() });
         }
         let qid = msg.id;
         let sigma_met = p.sigma_met();
+        let (sigma, count_only) = (p.sigma, p.count_only);
         self.pending.insert(qid, p);
+        self.obs.emit(|| match from {
+            None => Event::QueryIssued {
+                at: now,
+                query: qref(qid),
+                node: self.id,
+                sigma,
+                count_only,
+                matched,
+            },
+            Some(parent) => Event::QueryReceived {
+                at: now,
+                query: qref(qid),
+                node: self.id,
+                parent,
+                level,
+                matched,
+                duplicate: false,
+            },
+        });
         if sigma_met {
-            self.conclude(qid)
+            self.conclude(qid, now)
         } else {
             self.continue_query(qid, now)
         }
@@ -489,9 +590,25 @@ impl SelectionNode {
         let Some(p) = self.pending.get_mut(&msg.id) else {
             // Late reply for a concluded query: results already reported
             // upstream without it; nothing to do.
+            self.obs.emit(|| Event::ReplyMerged {
+                at: now,
+                query: qref(msg.id),
+                node: self.id,
+                from,
+                count: msg.count,
+                fresh: false,
+            });
             return Vec::new();
         };
         let was_waiting = p.waiting.remove(&from).is_some();
+        self.obs.emit(|| Event::ReplyMerged {
+            at: now,
+            query: qref(msg.id),
+            node: self.id,
+            from,
+            count: msg.count,
+            fresh: was_waiting,
+        });
         if p.count_only {
             // Only count subtrees we are actually waiting on: a duplicated
             // REPLY delivery (or one arriving after its peer timed out)
@@ -510,7 +627,7 @@ impl SelectionNode {
             return Vec::new();
         }
         if p.sigma_met() || p.level < 0 {
-            self.conclude(msg.id)
+            self.conclude(msg.id, now)
         } else {
             self.continue_query(msg.id, now)
         }
@@ -561,7 +678,15 @@ impl SelectionNode {
                         visited_zero: Vec::new(),
                     };
                     p.waiting.insert(n.id, deadline);
-                    out.push(Output::Send { to: n.id, msg: Message::Query(fwd) });
+                    let (to, fwd_level) = (n.id, p.level);
+                    self.obs.emit(|| Event::QueryForwarded {
+                        at: now,
+                        query: qref(qid),
+                        from: self.id,
+                        to,
+                        level: fwd_level,
+                    });
+                    out.push(Output::Send { to, msg: Message::Query(fwd) });
                     return out;
                 }
                 // No known node in that subcell: treat as empty and keep
@@ -610,6 +735,13 @@ impl SelectionNode {
                 };
                 p.waiting.insert(id, deadline);
                 p.contacted_zero.insert(id);
+                self.obs.emit(|| Event::QueryForwarded {
+                    at: now,
+                    query: qref(qid),
+                    from: self.id,
+                    to: id,
+                    level: -1,
+                });
                 out.push(Output::Send { to: id, msg: Message::Query(fwd) });
             }
             p.level = -1;
@@ -619,25 +751,52 @@ impl SelectionNode {
         }
 
         if p.waiting.is_empty() {
-            out.extend(self.conclude(qid));
+            out.extend(self.conclude(qid, now));
         }
         out
     }
 
     /// Finishes a query at this node: answer upstream, or report completion
     /// when this node originated it.
-    fn conclude(&mut self, qid: QueryId) -> Vec<Output> {
+    fn conclude(&mut self, qid: QueryId, now: u64) -> Vec<Output> {
         let p = self.pending.remove(&qid).expect("pending query");
+        // A conclusion with unexplored scope left (level ≥ 0) can only mean
+        // the σ bound cut the traversal short here.
+        if p.sigma_met() && p.level >= 0 {
+            self.obs.emit(|| Event::SigmaStop {
+                at: now,
+                query: qref(qid),
+                node: self.id,
+                count: p.count,
+            });
+        }
         match p.reply_to {
-            Some(upstream) => vec![Output::Send {
-                to: upstream,
-                msg: Message::Reply(ReplyMsg {
-                    id: qid,
-                    matching: p.matching,
+            Some(upstream) => {
+                self.obs.emit(|| Event::ReplySent {
+                    at: now,
+                    query: qref(qid),
+                    node: self.id,
+                    to: upstream,
                     count: p.count,
-                }),
-            }],
-            None => vec![Output::Completed { id: qid, matches: p.matching, count: p.count }],
+                });
+                vec![Output::Send {
+                    to: upstream,
+                    msg: Message::Reply(ReplyMsg {
+                        id: qid,
+                        matching: p.matching,
+                        count: p.count,
+                    }),
+                }]
+            }
+            None => {
+                self.obs.emit(|| Event::QueryCompleted {
+                    at: now,
+                    query: qref(qid),
+                    node: self.id,
+                    count: p.count,
+                });
+                vec![Output::Completed { id: qid, matches: p.matching, count: p.count }]
+            }
         }
     }
 }

@@ -85,6 +85,11 @@ impl RoutingTable {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Total `(l,k)` slots, filled or not (`d × max(l)`).
+    pub fn total_slots(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Total links maintained (Fig. 10's metric: slot links + `C0` links).
     pub fn link_count(&self) -> usize {
         self.slot_count() + self.zero.len()
@@ -159,11 +164,15 @@ impl RoutingTable {
     /// each `(l,k)` slot keeps its current occupant when still offered,
     /// otherwise picks a *uniformly random* candidate from that subcell —
     /// the randomness that spreads query load across dense cells (§6.4).
+    ///
+    /// Returns the number of `(l,k)` slots whose occupant changed (filled,
+    /// emptied, or replaced) — the table-churn signal the observability
+    /// layer tracks alongside gossip view turnover.
     pub fn rebuild<R: Rng + ?Sized>(
         &mut self,
         candidates: impl IntoIterator<Item = (NodeId, Point)>,
         rng: &mut R,
-    ) {
+    ) -> usize {
         let mut per_slot: Vec<Vec<NeighborEntry>> = vec![Vec::new(); self.slots.len()];
         let mut zero = BTreeMap::new();
         for (id, point) in candidates {
@@ -179,9 +188,12 @@ impl RoutingTable {
             }
         }
         self.zero = zero;
+        let mut changed = 0;
         for (slot, cands) in self.slots.iter_mut().zip(per_slot) {
             if cands.is_empty() {
-                *slot = None;
+                if slot.take().is_some() {
+                    changed += 1;
+                }
                 continue;
             }
             let keep = slot
@@ -189,8 +201,10 @@ impl RoutingTable {
                 .is_some_and(|cur| cands.iter().any(|c| c.id == cur.id));
             if !keep {
                 *slot = Some(cands[rng.gen_range(0..cands.len())].clone());
+                changed += 1;
             }
         }
+        changed
     }
 
     /// Iterates over the filled `(level, dim, entry)` slots.

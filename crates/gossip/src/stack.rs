@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use autosel_obs::{Event, ObsHandle};
 use rand::Rng;
 
 use crate::{Cyclon, Descriptor, GossipConfig, NodeId, Selector, Vicinity};
@@ -49,6 +50,11 @@ pub struct GossipStack<P> {
     config: GossipConfig,
     next_gossip_at: u64,
     profile: P,
+    /// Observability sink; null by default.
+    obs: ObsHandle,
+    /// Turnover readings at the previous emitted round, per layer
+    /// (random, semantic) — consecutive deltas are the replacement rate.
+    last_turnover: [u64; 2],
 }
 
 impl<P: fmt::Debug> fmt::Debug for GossipStack<P> {
@@ -96,7 +102,17 @@ impl<P: Clone> GossipStack<P> {
             config,
             next_gossip_at: 0,
             profile,
+            obs: ObsHandle::null(),
+            last_turnover: [0; 2],
         }
+    }
+
+    /// Installs an observability sink (null by default). Each gossip round
+    /// then emits one [`Event::GossipRound`] per layer carrying the view
+    /// size, mean descriptor age and replacement rate — the overlay-health
+    /// gauges of the paper's Fig. 10/11 discussion.
+    pub fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// This node's id.
@@ -208,6 +224,29 @@ impl<P: Clone> GossipStack<P> {
                     batch,
                 },
             ));
+        }
+
+        if self.obs.enabled() {
+            let id = self.cyclon.id();
+            for (i, (layer, view)) in [
+                (autosel_obs::Layer::Random, self.cyclon.view()),
+                (autosel_obs::Layer::Semantic, self.vicinity.view()),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let turnover = view.turnover();
+                let replaced = turnover - self.last_turnover[i];
+                self.last_turnover[i] = turnover;
+                self.obs.emit(|| Event::GossipRound {
+                    at: now,
+                    node: id,
+                    layer,
+                    view_size: view.len() as u32,
+                    mean_age_x1000: view.mean_age_x1000(),
+                    replaced,
+                });
+            }
         }
         out
     }

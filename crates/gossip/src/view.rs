@@ -12,6 +12,10 @@ pub struct View<P> {
     entries: Vec<Descriptor<P>>,
     index: HashMap<NodeId, usize>,
     capacity: usize,
+    /// Monotone count of ids that *entered* the view (were not present the
+    /// instant before). The overlay-health replacement-rate gauge: drivers
+    /// read consecutive values and report the delta per gossip round.
+    turnover: u64,
 }
 
 impl<P> View<P> {
@@ -22,12 +26,35 @@ impl<P> View<P> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "view capacity must be positive");
-        View { entries: Vec::with_capacity(capacity), index: HashMap::new(), capacity }
+        View {
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::new(),
+            capacity,
+            turnover: 0,
+        }
     }
 
     /// Maximum number of descriptors.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Monotone count of distinct entries that have joined the view over
+    /// its lifetime (each id counts once per *entry*, so an id that leaves
+    /// and comes back counts again). Never reset; subtract two readings to
+    /// get a replacement rate.
+    pub fn turnover(&self) -> u64 {
+        self.turnover
+    }
+
+    /// Mean descriptor age in fixed-point thousandths of a round (integer
+    /// so the observability schema stays float-free); 0 when empty.
+    pub fn mean_age_x1000(&self) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self.entries.iter().map(|d| u64::from(d.age)).sum();
+        sum * 1000 / self.entries.len() as u64
     }
 
     /// Current number of descriptors.
@@ -75,6 +102,7 @@ impl<P> View<P> {
         if self.entries.len() < self.capacity {
             self.index.insert(d.id, self.entries.len());
             self.entries.push(d);
+            self.turnover += 1;
             return;
         }
         if let Some(i) = self.oldest_index() {
@@ -82,6 +110,7 @@ impl<P> View<P> {
                 self.index.remove(&self.entries[i].id);
                 self.index.insert(d.id, i);
                 self.entries[i] = d;
+                self.turnover += 1;
             }
         }
     }
@@ -162,6 +191,7 @@ impl<P: Clone> View<P> {
             if self.entries.len() < self.capacity {
                 self.index.insert(d.id, self.entries.len());
                 self.entries.push(d);
+                self.turnover += 1;
                 continue;
             }
             let mut placed = false;
@@ -170,6 +200,7 @@ impl<P: Clone> View<P> {
                     self.index.remove(&victim);
                     self.index.insert(d.id, i);
                     self.entries[i] = d.clone();
+                    self.turnover += 1;
                     placed = true;
                     break;
                 }
@@ -189,13 +220,16 @@ impl<P: Clone> View<P> {
     /// capacity; later duplicates are ignored). Used by selector-driven
     /// layers after re-ranking.
     pub fn replace_all(&mut self, entries: Vec<Descriptor<P>>) {
+        let previous = std::mem::take(&mut self.index);
         self.entries.clear();
-        self.index.clear();
         for d in entries {
             if self.entries.len() == self.capacity {
                 break;
             }
             if !self.index.contains_key(&d.id) {
+                if !previous.contains_key(&d.id) {
+                    self.turnover += 1;
+                }
                 self.index.insert(d.id, self.entries.len());
                 self.entries.push(d);
             }
@@ -312,5 +346,32 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: View<u8> = View::new(0);
+    }
+
+    #[test]
+    fn turnover_counts_entries_not_refreshes() {
+        let mut v = View::new(2);
+        v.insert(d(1, 5));
+        v.insert(d(2, 1));
+        assert_eq!(v.turnover(), 2);
+        v.insert(d(1, 0)); // refresh of a known id: no turnover
+        assert_eq!(v.turnover(), 2);
+        v.insert(d(3, 0)); // evicts oldest → one replacement
+        assert_eq!(v.turnover(), 3);
+        // replace_all: id 3 survives, id 9 is new → +1.
+        v.replace_all(vec![d(3, 0), d(9, 0)]);
+        assert_eq!(v.turnover(), 4);
+        // An id that left and comes back counts again.
+        v.replace_all(vec![d(1, 0)]);
+        assert_eq!(v.turnover(), 5);
+    }
+
+    #[test]
+    fn mean_age_is_fixed_point_thousandths() {
+        let mut v = View::new(4);
+        assert_eq!(v.mean_age_x1000(), 0);
+        v.insert(d(1, 1));
+        v.insert(d(2, 2));
+        assert_eq!(v.mean_age_x1000(), 1500);
     }
 }

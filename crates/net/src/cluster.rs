@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
 use autosel_core::Match;
+use autosel_obs::{Event, ObsHandle};
 use epigossip::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,12 @@ pub struct NetCluster {
     transport: Transport,
     peers: HashMap<NodeId, PeerHandle>,
     rng: StdRng,
+    /// Observability sink handed to every peer; null unless spawned via
+    /// [`spawn_observed`](Self::spawn_observed). Events carry wall-clock
+    /// milliseconds since cluster start.
+    obs: ObsHandle,
+    /// Cluster start instant — the zero point of event timestamps.
+    started: Instant,
 }
 
 impl std::fmt::Debug for NetCluster {
@@ -81,11 +88,36 @@ impl NetCluster {
         transport: Transport,
         seed: u64,
     ) -> std::io::Result<Self> {
+        Self::spawn_observed(space, points, config, transport, seed, ObsHandle::null())
+    }
+
+    /// Like [`spawn`](Self::spawn) but with an observability sink installed
+    /// on every peer before its first message. Event timestamps are
+    /// wall-clock milliseconds since this call — the same clock the peers'
+    /// timeout logic runs on, so a trace from a deployment lines up with a
+    /// trace from the simulator structurally (only the `at` values differ).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from TCP listener binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `points` is empty.
+    pub fn spawn_observed(
+        space: Space,
+        points: Vec<Point>,
+        config: NetConfig,
+        transport: Transport,
+        seed: u64,
+        obs: ObsHandle,
+    ) -> std::io::Result<Self> {
         config.validate();
         assert!(!points.is_empty(), "cluster needs at least one node");
         let started = Instant::now();
         let rng = StdRng::seed_from_u64(seed);
-        let mut cluster = NetCluster { space, transport, peers: HashMap::new(), rng };
+        let mut cluster =
+            NetCluster { space, transport, peers: HashMap::new(), rng, obs, started };
         for (i, point) in points.into_iter().enumerate() {
             cluster.spawn_peer(i as NodeId, point, &config, started)?;
         }
@@ -129,6 +161,7 @@ impl NetCluster {
             events_tx.clone(),
             Arc::clone(&counters),
             started,
+            self.obs.clone(),
         );
         let thread = std::thread::Builder::new()
             .name(format!("autosel-net-peer-{id}"))
@@ -212,6 +245,10 @@ impl NetCluster {
             let _ = p.events.send(PeerEvent::Command(Command::Shutdown));
             self.transport.deregister(id);
             drop(p.thread); // detach; the thread exits on the shutdown command
+            self.obs.emit(|| Event::NodeCrashed {
+                at: self.started.elapsed().as_millis() as u64,
+                node: id,
+            });
         }
     }
 

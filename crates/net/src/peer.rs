@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
 use autosel_core::{Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector};
+use autosel_obs::ObsHandle;
 use epigossip::{GossipMessage, GossipStack, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -83,14 +84,17 @@ impl PeerTask {
         events_tx: mpsc::Sender<PeerEvent>,
         counters: Arc<PeerCounters>,
         started: Instant,
+        obs: ObsHandle,
     ) -> Self {
-        let selection = SelectionNode::new(id, space, point, config.protocol.clone());
-        let gossip = GossipStack::new(
+        let mut selection = SelectionNode::new(id, space, point, config.protocol.clone());
+        selection.set_observer(obs.clone());
+        let mut gossip = GossipStack::new(
             id,
             selection.profile(),
             config.gossip.clone(),
             SlotSelector::default(),
         );
+        gossip.set_observer(obs);
         PeerTask {
             id,
             selection,
@@ -136,7 +140,7 @@ impl PeerTask {
         let now = self.now();
         let msgs = self.gossip.tick(now, &mut self.rng);
         let view = self.gossip.semantic_view().clone();
-        self.selection.sync_from_view(&view, &mut self.rng);
+        self.selection.sync_from_view(&view, now, &mut self.rng);
         for (to, m) in msgs {
             self.send(to, NetMessage::Gossip(m));
         }
@@ -151,9 +155,10 @@ impl PeerTask {
                 self.apply_outputs(outputs);
             }
             NetMessage::Gossip(g) => {
+                let now = self.now();
                 let replies = self.gossip.handle(from, g, &mut self.rng);
                 let view = self.gossip.semantic_view().clone();
-                self.selection.sync_from_view(&view, &mut self.rng);
+                self.selection.sync_from_view(&view, now, &mut self.rng);
                 for (to, m) in replies {
                     self.send(to, NetMessage::Gossip(m));
                 }

@@ -2,10 +2,12 @@
 //! existence, answer multi-attribute queries, and survive ungraceful kills —
 //! the behaviours the paper demonstrated on DAS and PlanetLab.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use attrspace::{Point, Query, Space};
 use autosel_net::{NetCluster, NetConfig, Transport};
+use autosel_obs::{ObsHandle, Registry, TraceTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +130,47 @@ fn tcp_cluster_end_to_end() {
     let traffic = cluster.traffic();
     assert!(traffic.values().all(|&(s, r)| s > 0 || r > 0), "all peers active");
     cluster.shutdown();
+}
+
+/// Wall-clock tracing on the live runtime: the same observer that watches
+/// the simulator reconstructs a live cluster's queries into rooted trees,
+/// and the gossip gauges tick with real rounds.
+#[test]
+fn observed_cluster_traces_queries_and_gossip() {
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 40, 8);
+    let tree = Arc::new(TraceTree::new());
+    let reg = Arc::new(Registry::new());
+    let mut fan = autosel_obs::Fanout::new();
+    fan.push(tree.clone());
+    fan.push(reg.clone());
+    let mut cluster = NetCluster::spawn_observed(
+        space.clone(),
+        pts,
+        cfg.clone(),
+        Transport::mem(cfg.injected_latency_ms),
+        13,
+        ObsHandle::of(fan),
+    )
+    .unwrap();
+
+    let query = Query::builder(&space).min("a0", 40).build().unwrap();
+    let best = wait_for_delivery(&mut cluster, &query, 0.9, 15);
+    assert!(best > 0.5, "observed overlay reached only {best:.2}");
+    cluster.shutdown();
+
+    assert!(reg.counter("event.gossip_round") > 0, "live gossip rounds unobserved");
+    assert!(reg.counter("event.query_issued") > 0, "live queries unobserved");
+    let queries = tree.queries();
+    assert!(!queries.is_empty(), "no query traces recorded");
+    for q in &queries {
+        let qt = tree.query(*q).expect("trace recorded");
+        assert_eq!(qt.root, q.origin, "each live query has one rooted tree at its origin");
+    }
+    // Threads interleave freely, yet causality must still resolve: every
+    // recorded hop hangs off a recorded parent.
+    assert_eq!(tree.problems(), Vec::<String>::new());
 }
 
 #[test]

@@ -1,0 +1,270 @@
+//! Counters and log2-bucketed histograms with deterministic snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `b` holds samples whose bit length is `b` (so bucket 0 is the
+/// value 0, bucket 1 is value 1, bucket 2 is 2–3, bucket 3 is 4–7, …).
+/// 65 buckets cover the whole `u64` range; recording is O(1) and the
+/// digest of a histogram is independent of sample order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs in ascending
+    /// order. `lower_bound` is the smallest value the bucket can hold.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A deterministic point-in-time copy of a [`Registry`], sorted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// All histograms, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as stable, diff-friendly text: one
+    /// `name = value` line per counter, one block per histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}: count={} sum={} max={} mean={:.2}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.mean()
+            );
+            for (lo, c) in h.nonzero_buckets() {
+                let _ = writeln!(out, "  >={lo}: {c}");
+            }
+        }
+        out
+    }
+}
+
+/// A shared registry of named counters and histograms.
+///
+/// "Lock-free-enough": one short mutex held per update — contention only
+/// matters on the network runtime's per-peer threads, where each update is
+/// a map lookup plus an integer add, orders of magnitude cheaper than the
+/// socket I/O around it. Iteration order is `BTreeMap` order, so
+/// [`Registry::snapshot`] is deterministic by construction.
+///
+/// `Registry` also implements [`Observer`], aggregating a standard set of
+/// gauges: per-kind event counters (`event.<kind>`), query health
+/// (`query.duplicates`, `reply.count`), gossip health per layer
+/// (`gossip.view_size.<layer>`, `gossip.mean_age_x1000.<layer>`,
+/// `gossip.replaced.<layer>`) and routing health (`routing.links`,
+/// `routing.zero_slots`).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds 1 to the named counter (creating it at 0).
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records a sample into the named histogram (creating it empty).
+    pub fn record(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().expect("registry lock").counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy of the named histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().expect("registry lock").histograms.get(name).cloned()
+    }
+
+    /// A deterministic snapshot: every counter and histogram, sorted by
+    /// name. Two runs that observed the same events snapshot identically.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+}
+
+impl Observer for Registry {
+    fn on_event(&self, event: &Event) {
+        let mut key = String::with_capacity(32);
+        key.push_str("event.");
+        key.push_str(event.kind());
+        self.add(&key, 1);
+        match *event {
+            Event::QueryReceived { duplicate: true, .. } => self.inc("query.duplicates"),
+            Event::ReplySent { count, .. } => self.record("reply.count", count),
+            Event::QueryCompleted { count, .. } => self.record("query.final_count", count),
+            Event::GossipRound { layer, view_size, mean_age_x1000, replaced, .. } => {
+                let l = layer.name();
+                self.record(&format!("gossip.view_size.{l}"), view_size as u64);
+                self.record(&format!("gossip.mean_age_x1000.{l}"), mean_age_x1000);
+                self.add(&format!("gossip.replaced.{l}"), replaced);
+            }
+            Event::ViewChange { links, zero, changed, .. } => {
+                self.record("routing.links", links as u64);
+                self.record("routing.zero_slots", zero as u64);
+                self.add("routing.slots_changed", changed as u64);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Layer, QueryRef};
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.nonzero_buckets();
+        // 0 | 1 | {2,3} | {4..7} | {8} | {1024} | {u64::MAX}
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1), (1 << 63, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_order_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.inc("zeta");
+        r.inc("alpha");
+        r.add("alpha", 4);
+        r.record("hist.b", 10);
+        r.record("hist.a", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("alpha".into(), 5), ("zeta".into(), 1)]);
+        let names: Vec<&str> = snap.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["hist.a", "hist.b"]);
+        assert_eq!(snap, r.snapshot());
+    }
+
+    #[test]
+    fn registry_observes_standard_gauges() {
+        let r = Registry::new();
+        let q = QueryRef::new(1, 0);
+        r.on_event(&Event::QueryReceived {
+            at: 1,
+            query: q,
+            node: 2,
+            parent: 1,
+            level: 0,
+            matched: true,
+            duplicate: true,
+        });
+        r.on_event(&Event::GossipRound {
+            at: 2,
+            node: 2,
+            layer: Layer::Random,
+            view_size: 8,
+            mean_age_x1000: 1500,
+            replaced: 2,
+        });
+        assert_eq!(r.counter("event.query_received"), 1);
+        assert_eq!(r.counter("query.duplicates"), 1);
+        assert_eq!(r.counter("gossip.replaced.random"), 2);
+        assert_eq!(r.histogram("gossip.view_size.random").unwrap().sum(), 8);
+        let text = r.snapshot().render();
+        assert!(text.contains("query.duplicates = 1"));
+        assert!(text.contains("gossip.view_size.random: count=1"));
+    }
+}

@@ -9,6 +9,7 @@ use autosel_core::NeighborEntry;
 use autosel_core::{
     DynamicConstraint, Match, Message, NodeProfile, Output, QueryId, SelectionNode, SlotSelector,
 };
+use autosel_obs::{Event, ObsHandle};
 use epigossip::{GossipStack, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +33,35 @@ struct SimNode {
     /// enough — it reschedules itself off `next_timeout()` — so deliveries
     /// skip pushing redundant poll events (previously one per message).
     next_poll: u64,
+}
+
+/// Aggregate view health of one gossip layer over the alive population —
+/// the in-degree / freshness / replacement-rate gauges behind the paper's
+/// overlay-maintenance discussion. All integer fixed-point (×1000 where
+/// fractional) so readings stay byte-stable across platforms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipHealth {
+    /// Nodes with an active gossip stack.
+    pub nodes: u64,
+    /// Total view entries across those nodes.
+    pub links: u64,
+    /// Sum over nodes of per-view mean descriptor age, in thousandths.
+    pub age_sum_x1000: u64,
+    /// Total view turnover (monotone count of entries ever admitted;
+    /// deltas between two readings are the replacement rate).
+    pub turnover: u64,
+}
+
+impl GossipHealth {
+    /// Mean view size in thousandths (0 when no nodes gossip).
+    pub fn mean_view_size_x1000(&self) -> u64 {
+        (self.links * 1000).checked_div(self.nodes).unwrap_or(0)
+    }
+
+    /// Mean of the per-node mean descriptor ages, in thousandths.
+    pub fn mean_age_x1000(&self) -> u64 {
+        self.age_sum_x1000.checked_div(self.nodes).unwrap_or(0)
+    }
 }
 
 /// A simulated population of resource-selection nodes under virtual time.
@@ -70,6 +100,9 @@ pub struct SimCluster {
     /// Reused buffer for per-message fault resolution (zero allocations on
     /// the send path once warm).
     delivery_scratch: Vec<u64>,
+    /// Observability sink, propagated into every node (null by default).
+    /// Events carry virtual-time timestamps.
+    obs: ObsHandle,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -103,7 +136,25 @@ impl SimCluster {
             faults: FaultPlan::new(),
             crashed: FastMap::default(),
             delivery_scratch: Vec::new(),
+            obs: ObsHandle::null(),
         }
+    }
+
+    /// Installs an observability sink on the cluster and every node (current
+    /// and future). Timestamps in emitted events are virtual milliseconds.
+    ///
+    /// Observers are passive: they never touch the protocol RNG or the event
+    /// queue, so a traced run and an untraced run of the same seed produce
+    /// byte-identical [`QueryStats`] fingerprints.
+    pub fn set_observer(&mut self, obs: ObsHandle) {
+        for &id in &self.sorted_ids {
+            let n = self.nodes.get_mut(&id).expect("indexed node alive");
+            n.selection.set_observer(obs.clone());
+            if let Some(g) = n.gossip.as_mut() {
+                g.set_observer(obs.clone());
+            }
+        }
+        self.obs = obs;
     }
 
     /// Installs a [`FaultPlan`]: per-message faults apply to every message
@@ -171,8 +222,9 @@ impl SimCluster {
     /// Inserts a node under a caller-chosen id (fresh joins allocate one,
     /// restarts reuse the crashed identity).
     fn insert_node(&mut self, id: NodeId, point: Point) {
-        let selection =
+        let mut selection =
             SelectionNode::new(id, &self.space, point.clone(), self.config.protocol.clone());
+        selection.set_observer(self.obs.clone());
         let gossip = if self.config.gossip_enabled {
             let mut stack = GossipStack::new(
                 id,
@@ -180,6 +232,7 @@ impl SimCluster {
                 self.config.gossip.clone(),
                 SlotSelector::default(),
             );
+            stack.set_observer(self.obs.clone());
             let existing = &self.sorted_ids;
             for _ in 0..3.min(existing.len()) {
                 let seed = existing[self.rng.gen_range(0..existing.len())];
@@ -357,7 +410,9 @@ impl SimCluster {
     /// Kills `id` abruptly (no goodbye messages — the paper's ungraceful
     /// departure). In-flight messages to it are dropped on delivery.
     pub fn kill(&mut self, id: NodeId) {
-        self.nodes.remove(&id);
+        if self.nodes.remove(&id).is_some() {
+            self.obs.emit(|| Event::NodeCrashed { at: self.now, node: id });
+        }
         self.unindex(id);
     }
 
@@ -368,6 +423,7 @@ impl SimCluster {
         if let Some(n) = self.nodes.remove(&id) {
             self.crashed.insert(id, n.selection.point().clone());
             self.unindex(id);
+            self.obs.emit(|| Event::NodeCrashed { at: self.now, node: id });
         }
     }
 
@@ -378,6 +434,7 @@ impl SimCluster {
     pub fn restart(&mut self, id: NodeId) -> bool {
         let Some(point) = self.crashed.remove(&id) else { return false };
         self.insert_node(id, point);
+        self.obs.emit(|| Event::NodeRestarted { at: self.now, node: id });
         true
     }
 
@@ -396,8 +453,7 @@ impl SimCluster {
         for _ in 0..n {
             let i = self.rng.gen_range(0..ids.len());
             let id = ids.swap_remove(i);
-            self.nodes.remove(&id);
-            self.unindex(id);
+            self.kill(id);
         }
         n
     }
@@ -411,6 +467,25 @@ impl SimCluster {
             let point = placement.draw(&self.space, i, &mut self.rng);
             self.add_node(point);
         }
+    }
+
+    /// Point-in-time health reading of both gossip layers across the alive
+    /// population: `(random, semantic)`. Complements the per-round
+    /// [`Event::GossipRound`] stream with an on-demand aggregate that needs
+    /// no observer installed. Empty readings (gossip disabled) are all-zero.
+    pub fn gossip_health(&self) -> (GossipHealth, GossipHealth) {
+        let mut out = [GossipHealth::default(), GossipHealth::default()];
+        for &id in &self.sorted_ids {
+            let Some(g) = self.nodes[&id].gossip.as_ref() else { continue };
+            for (h, view) in out.iter_mut().zip([g.random_view(), g.semantic_view()]) {
+                h.nodes += 1;
+                h.links += view.len() as u64;
+                h.age_sum_x1000 += view.mean_age_x1000();
+                h.turnover += view.turnover();
+            }
+        }
+        let [random, semantic] = out;
+        (random, semantic)
     }
 
     /// Per-node dispatched-message counts (Fig. 9's load metric).
@@ -688,7 +763,7 @@ impl SimCluster {
                         let replies = stack.handle(from, msg, &mut self.rng);
                         // Routing tables follow the semantic view.
                         let view = stack.semantic_view().clone();
-                        node.selection.sync_from_view(&view, &mut self.rng);
+                        node.selection.sync_from_view(&view, self.now, &mut self.rng);
                         for (dst, m) in replies {
                             self.send(to, dst, Payload::Gossip(Arc::new(m)));
                         }
@@ -700,7 +775,7 @@ impl SimCluster {
                 let Some(stack) = n.gossip.as_mut() else { return };
                 let msgs = stack.tick(self.now, &mut self.rng);
                 let view = stack.semantic_view().clone();
-                n.selection.sync_from_view(&view, &mut self.rng);
+                n.selection.sync_from_view(&view, self.now, &mut self.rng);
                 let period = self.config.gossip.period_ms;
                 for (dst, m) in msgs {
                     self.send(node, dst, Payload::Gossip(Arc::new(m)));

@@ -62,7 +62,7 @@ pub mod invariants;
 pub mod viz;
 pub mod workload;
 
-pub use cluster::SimCluster;
+pub use cluster::{GossipHealth, SimCluster};
 pub use config::SimConfig;
 pub use faults::FaultPlan;
 pub use invariants::{InvariantChecker, InvariantViolation};

@@ -69,6 +69,36 @@ impl QueryStats {
         }
     }
 
+    /// One flat JSON object per query, hand-rolled (no serde in this tree).
+    /// Sets are reduced to their cardinality; `delivery` and other ratios
+    /// are left to the consumer so the object stays integer-only and
+    /// byte-stable across platforms.
+    pub fn to_json(&self) -> String {
+        let mut w = autosel_obs::json::ObjectWriter::new();
+        w.u64_field("issued_at", self.issued_at);
+        w.u64_field("truth", u64::from(self.truth));
+        match self.sigma {
+            Some(s) => w.u64_field("sigma", u64::from(s)),
+            None => w.null_field("sigma"),
+        }
+        w.u64_field("matched_reached", self.matched_reached.len() as u64);
+        w.u64_field("overhead", self.overhead);
+        w.u64_field("duplicates", self.duplicates);
+        w.u64_field("messages", self.messages);
+        w.bool_field("completed", self.completed);
+        match self.completed_at {
+            Some(t) => w.u64_field("completed_at", t),
+            None => w.null_field("completed_at"),
+        }
+        match self.latency() {
+            Some(l) => w.u64_field("latency_ms", l),
+            None => w.null_field("latency_ms"),
+        }
+        w.u64_field("reported", u64::from(self.reported));
+        w.u64_field("receivers", self.receivers.len() as u64);
+        w.finish()
+    }
+
     /// A canonical, byte-stable rendering of every field (sets are sorted).
     /// Two runs are byte-identical iff their fingerprints are equal — this is
     /// what the golden-determinism tests and `sweepbench`'s serial-vs-parallel
@@ -189,6 +219,33 @@ mod tests {
         s.matched_reached.insert(1);
         s.matched_reached.insert(2);
         assert_eq!(s.delivery(), 0.5);
+    }
+
+    #[test]
+    fn stats_json_is_flat_and_stable() {
+        let mut s = QueryStats::new(7, 4);
+        s.sigma = Some(2);
+        s.matched_reached.insert(1);
+        s.matched_reached.insert(2);
+        s.receivers.insert(1);
+        s.receivers.insert(2);
+        s.receivers.insert(3);
+        s.overhead = 1;
+        s.messages = 9;
+        s.completed = true;
+        s.completed_at = Some(19);
+        s.reported = 2;
+        assert_eq!(
+            s.to_json(),
+            "{\"issued_at\":7,\"truth\":4,\"sigma\":2,\"matched_reached\":2,\
+             \"overhead\":1,\"duplicates\":0,\"messages\":9,\"completed\":true,\
+             \"completed_at\":19,\"latency_ms\":12,\"reported\":2,\"receivers\":3}"
+        );
+        // Incomplete query: the option fields serialize as null.
+        let s = QueryStats::new(0, 0);
+        let parsed = autosel_obs::json::parse_object(&s.to_json()).expect("valid JSON");
+        assert!(matches!(parsed.get("sigma"), Some(autosel_obs::json::JsonValue::Null)));
+        assert!(matches!(parsed.get("latency_ms"), Some(autosel_obs::json::JsonValue::Null)));
     }
 
     #[test]

@@ -144,6 +144,36 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_golden_empty() {
+        // 2 buckets per dim → the whole grid fits in a golden string.
+        let s = Space::uniform(2, 80, 1).unwrap();
+        assert_eq!(render_occupancy(&s, &[]), "· ·\n· ·\n");
+    }
+
+    #[test]
+    fn occupancy_golden_single() {
+        let s = Space::uniform(2, 80, 1).unwrap();
+        let points = pts(&s, &[[5, 50]]); // bucket (0, 1): left column, bottom row
+        assert_eq!(render_occupancy(&s, &points), "· ·\n1 ·\n");
+    }
+
+    #[test]
+    fn occupancy_golden_overflow_cell() {
+        // Counts above 9 saturate to '+' instead of widening the column.
+        let s = Space::uniform(2, 80, 1).unwrap();
+        let points = pts(&s, &[[5, 5]; 12]);
+        assert_eq!(render_occupancy(&s, &points), "+ ·\n· ·\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "d = 2")]
+    fn query_rendering_rejects_high_dimensions() {
+        let s = Space::uniform(3, 80, 2).unwrap();
+        let q = Query::builder(&s).range("a0", 0, 10).build().unwrap();
+        let _ = render_query(&s, &q, &[]);
+    }
+
+    #[test]
     fn query_footprint_marks_cells() {
         let s = space();
         let points = pts(&s, &[[45, 45]]);

@@ -19,6 +19,7 @@
 //! | [`dht`] | `dht-baseline` | Bamboo/SWORD delegation baseline |
 //! | [`traces`] | `synthtrace` | synthetic BOINC host attribute traces |
 //! | [`net`] | `autosel-net` | threaded network runtime (DAS / PlanetLab role) |
+//! | [`obs`] | `autosel-obs` | zero-dependency tracing & metrics (observers, trace trees) |
 //!
 //! ## Quickstart
 //!
@@ -90,10 +91,16 @@ pub mod net {
     pub use autosel_net::*;
 }
 
+/// Tracing and metrics (re-export of `autosel-obs`).
+pub mod obs {
+    pub use autosel_obs::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use attrspace::{Dimension, Point, Query, Range, Space};
     pub use autosel_core::{Match, Output, ProtocolConfig, QueryId, SelectionNode};
+    pub use autosel_obs::{Fanout, JsonlSink, ObsHandle, Observer, Registry, TraceTree};
     pub use autosel_net::{NetCluster, NetConfig, Transport};
     pub use epigossip::{GossipConfig, GossipStack, NodeId};
     pub use overlay_sim::{LatencyModel, Placement, QueryStats, SimCluster, SimConfig};
