@@ -184,6 +184,7 @@ fn bench_wire_codec(c: &mut Criterion) {
         dynamic: Vec::new(),
         count_only: false,
         visited_zero: Vec::new(),
+        attempt: 1,
     }));
     let encoded = wire::encode(&msg);
     c.bench_function("wire_encode_query_d16", |b| b.iter(|| black_box(wire::encode(&msg))));

@@ -89,6 +89,13 @@ pub struct QueryMsg {
     /// (§4.1: "broadcast … through an epidemic protocol") does not re-visit
     /// nodes. Empty unless the relay is enabled.
     pub visited_zero: Vec<NodeId>,
+    /// Per-forward attempt id, unique among this sender's forwards of this
+    /// query (`0` marks the origin's self-delivery, which is never on the
+    /// wire). The receiver echoes it verbatim in its REPLY so the sender
+    /// can correlate the reply to the *specific forward* rather than just
+    /// `(query, peer)` — the difference between exactly-once accounting and
+    /// the dedup-reply race under duplicated or retried deliveries.
+    pub attempt: u32,
 }
 
 /// The REPLY message of Fig. 4(a): the matches collected by the subtree
@@ -103,6 +110,12 @@ pub struct ReplyMsg {
     /// Number of matches in the sender's subtree. Equals `matching.len()`
     /// in enumerate mode; carries the whole answer in count-only mode.
     pub count: u64,
+    /// Echo of the answered QUERY's [`attempt`](QueryMsg::attempt). The
+    /// upstream merges a reply *fresh* only while it still waits on this
+    /// exact attempt — any other copy (duplicated delivery, reply to a
+    /// superseded forward) is recognisably stale and cannot clear the
+    /// waiting entry or double-add a count.
+    pub attempt: u32,
 }
 
 /// A resource-selection protocol message.
@@ -164,8 +177,9 @@ mod tests {
             dynamic: Vec::new(),
             count_only: false,
             visited_zero: Vec::new(),
+            attempt: 1,
         });
-        let r = Message::Reply(ReplyMsg { id, matching: Vec::new(), count: 0 });
+        let r = Message::Reply(ReplyMsg { id, matching: Vec::new(), count: 0, attempt: 1 });
         assert_eq!(q.query_id(), id);
         assert_eq!(r.query_id(), id);
     }

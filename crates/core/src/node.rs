@@ -1,4 +1,5 @@
 use crate::fasthash::{FastMap, FastSet};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use attrspace::{CellCoord, Level, Point, Query, Space, SubcellIndex};
@@ -24,11 +25,19 @@ pub struct ProtocolConfig {
     /// deduplication. Off by default — with converged views and the paper's
     /// sparse cells every mate is already known to the fanning-out node.
     pub c0_relay: bool,
+    /// How many concluded queries keep their final REPLY cached for
+    /// retransmission. A duplicate QUERY arriving *after* this node already
+    /// answered is met with a cached copy of the real reply instead of an
+    /// empty dedup-reply, which makes upstream retries idempotent: the
+    /// retransmitted copy either fresh-merges (the original was lost) or is
+    /// dropped as stale by its attempt id. Evicted FIFO; `0` disables the
+    /// cache (duplicates of concluded queries then answer empty).
+    pub reply_cache: usize,
 }
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
-        ProtocolConfig { query_timeout_ms: 5_000, c0_relay: false }
+        ProtocolConfig { query_timeout_ms: 5_000, c0_relay: false, reply_cache: 32 }
     }
 }
 
@@ -82,8 +91,16 @@ struct PendingQuery {
     count: u64,
     matching: Vec<Match>,
     matched_ids: FastSet<NodeId>,
-    /// Peers queried but not yet answered, with their reply deadlines.
-    waiting: FastMap<NodeId, u64>,
+    /// The attempt id to echo upstream in the final REPLY — the one carried
+    /// by the QUERY that created this record, refreshed if the same
+    /// upstream re-delivers with a newer attempt while we are in flight.
+    attempt: u32,
+    /// Next attempt id to stamp on a forward of this query (starts at 1;
+    /// `0` is the origin's self-delivery and never appears on the wire).
+    next_attempt: u32,
+    /// Peers queried but not yet answered, with their reply deadline and
+    /// the attempt id their reply must echo to merge fresh.
+    waiting: FastMap<NodeId, (u64, u32)>,
     /// `C0` neighbors already contacted (never re-sent on re-forwarding).
     contacted_zero: FastSet<NodeId>,
     /// `C0` members known (from the message) to have been visited already —
@@ -113,6 +130,18 @@ impl PendingQuery {
     }
 }
 
+/// A concluded query's final answer, kept for retransmission to late
+/// duplicate QUERY deliveries (see [`ProtocolConfig::reply_cache`]).
+#[derive(Debug)]
+struct CachedReply {
+    /// The upstream the original REPLY went to — the only peer whose
+    /// duplicates are answered from the cache (any other asker is a
+    /// cross-path delivery whose subtree accounting we must not feed).
+    to: NodeId,
+    matching: Vec<Match>,
+    count: u64,
+}
+
 /// A resource-selection node: one compute resource representing itself in
 /// the overlay (§4.3, Fig. 5).
 ///
@@ -134,10 +163,17 @@ pub struct SelectionNode {
     /// Current values of this node's dynamic attributes (footnote 1).
     dynamic: FastMap<u32, attrspace::RawValue>,
     pending: FastMap<QueryId, PendingQuery>,
-    /// Every query id ever accepted — duplicates are answered empty instead
-    /// of being re-processed, keeping the traversal exactly-once even under
-    /// retries.
+    /// Every query id ever accepted — duplicates are never re-processed,
+    /// keeping the traversal exactly-once even under retries. While the
+    /// query is still pending here the duplicate is *suppressed* (the real
+    /// REPLY will answer the upstream); after conclusion it is answered
+    /// from [`reply_cache`](Self::reply_cache), or empty on a cache miss.
     seen: FastSet<QueryId>,
+    /// Final replies of recently concluded queries, FIFO-bounded by
+    /// [`ProtocolConfig::reply_cache`].
+    reply_cache: FastMap<QueryId, CachedReply>,
+    /// FIFO eviction order for [`reply_cache`](Self::reply_cache).
+    reply_cache_order: VecDeque<QueryId>,
     config: ProtocolConfig,
     seq: u32,
     duplicate_receipts: u64,
@@ -173,6 +209,8 @@ impl SelectionNode {
             dynamic: FastMap::default(),
             pending: FastMap::default(),
             seen: FastSet::default(),
+            reply_cache: FastMap::default(),
+            reply_cache_order: VecDeque::new(),
             config,
             seq: 0,
             duplicate_receipts: 0,
@@ -276,7 +314,7 @@ impl SelectionNode {
     pub fn waiting_on(&self, id: QueryId) -> Vec<(NodeId, u64)> {
         self.pending
             .get(&id)
-            .map(|p| p.waiting.iter().map(|(&n, &d)| (n, d)).collect())
+            .map(|p| p.waiting.iter().map(|(&n, &(d, _))| (n, d)).collect())
             .unwrap_or_default()
     }
 
@@ -398,6 +436,7 @@ impl SelectionNode {
             dynamic,
             count_only,
             visited_zero: Vec::new(),
+            attempt: 0,
         };
         let out = self.accept_query(None, msg, now);
         (id, out)
@@ -415,9 +454,8 @@ impl SelectionNode {
     pub fn next_timeout(&self) -> Option<u64> {
         self.pending
             .values()
-            .flat_map(|p| p.waiting.values())
+            .flat_map(|p| p.waiting.values().map(|&(deadline, _)| deadline))
             .min()
-            .copied()
     }
 
     /// Expires overdue neighbors (the paper's `T(q)`): each is reported as
@@ -431,7 +469,7 @@ impl SelectionNode {
             let expired: Vec<NodeId> = p
                 .waiting
                 .iter()
-                .filter(|(_, &deadline)| deadline <= now)
+                .filter(|(_, &(deadline, _))| deadline <= now)
                 .map(|(&id, _)| id)
                 .collect();
             if expired.is_empty() {
@@ -502,8 +540,12 @@ impl SelectionNode {
     /// The `receive_query` procedure of Fig. 5.
     fn accept_query(&mut self, from: Option<NodeId>, msg: QueryMsg, now: u64) -> Vec<Output> {
         if self.seen.contains(&msg.id) {
-            // Duplicate delivery (e.g. an upstream retry): answer empty so
-            // the sender's waiting set clears, and never re-process.
+            // Duplicate delivery (a fault-duplicated copy or an upstream
+            // retry): never re-process. How to answer depends on where the
+            // original traversal stands — replying empty unconditionally is
+            // exactly the race that used to drop subtree results (the empty
+            // dedup-reply overtakes the real REPLY and clears the
+            // upstream's waiting entry early).
             self.duplicate_receipts += 1;
             if let Some(from) = from {
                 self.obs.emit(|| Event::QueryReceived {
@@ -516,17 +558,47 @@ impl SelectionNode {
                     duplicate: true,
                 });
             }
-            return match from {
-                Some(from) => vec![Output::Send {
+            let Some(from) = from else { return Vec::new() };
+            if let Some(p) = self.pending.get_mut(&msg.id) {
+                if p.reply_to == Some(from) {
+                    // Still in flight for this same upstream: stay silent —
+                    // the real REPLY will answer it. Track the newest
+                    // attempt so a genuine retry still correlates.
+                    p.attempt = msg.attempt;
+                    return Vec::new();
+                }
+                // In flight, but the duplicate came over a different edge
+                // (stale-view cross-path): that sender's subtree gets
+                // nothing from us — answer empty immediately.
+                return vec![Output::Send {
                     to: from,
                     msg: Message::Reply(ReplyMsg {
                         id: msg.id,
                         matching: Vec::new(),
                         count: 0,
+                        attempt: msg.attempt,
                     }),
-                }],
-                None => Vec::new(),
+                }];
+            }
+            // Concluded: retransmit the cached final reply to the upstream
+            // we originally answered (retries become idempotent — the copy
+            // fresh-merges iff the original was lost, else its attempt id
+            // marks it stale). Anyone else gets an empty reply.
+            let reply = match self.reply_cache.get(&msg.id) {
+                Some(c) if c.to == from => ReplyMsg {
+                    id: msg.id,
+                    matching: c.matching.clone(),
+                    count: c.count,
+                    attempt: msg.attempt,
+                },
+                _ => ReplyMsg {
+                    id: msg.id,
+                    matching: Vec::new(),
+                    count: 0,
+                    attempt: msg.attempt,
+                },
             };
+            return vec![Output::Send { to: from, msg: Message::Reply(reply) }];
         }
         self.seen.insert(msg.id);
 
@@ -547,6 +619,8 @@ impl SelectionNode {
             count: 0,
             matching: Vec::new(),
             matched_ids: FastSet::default(),
+            attempt: msg.attempt,
+            next_attempt: 1,
             waiting: FastMap::default(),
             contacted_zero: FastSet::default(),
             visited_zero: msg.visited_zero.into_iter().collect(),
@@ -597,25 +671,37 @@ impl SelectionNode {
                 from,
                 count: msg.count,
                 fresh: false,
+                attempt: msg.attempt,
             });
             return Vec::new();
         };
-        let was_waiting = p.waiting.remove(&from).is_some();
+        // Fresh iff we still wait on `from` *for this exact attempt*. A
+        // reply echoing a superseded attempt must not clear the waiting
+        // entry — the reply to the live attempt is still owed, and removing
+        // the entry here is what used to conclude the upstream early.
+        let fresh = match p.waiting.get(&from) {
+            Some(&(_, attempt)) if attempt == msg.attempt => {
+                p.waiting.remove(&from);
+                true
+            }
+            _ => false,
+        };
         self.obs.emit(|| Event::ReplyMerged {
             at: now,
             query: qref(msg.id),
             node: self.id,
             from,
             count: msg.count,
-            fresh: was_waiting,
+            fresh,
+            attempt: msg.attempt,
         });
         if p.count_only {
-            // Only count subtrees we are actually waiting on: a duplicated
-            // REPLY delivery (or one arriving after its peer timed out)
-            // must not be added twice. Enumerate mode is naturally immune —
-            // `matched_ids` dedups — but counts carry no identity, so the
-            // waiting set is the only witness of "not yet merged".
-            if was_waiting {
+            // Counts carry no node identity, so the attempt-tagged waiting
+            // entry is the only witness of "not yet merged": each attempt
+            // id is added at most once, no matter how many copies of the
+            // reply arrive. Enumerate mode is naturally immune —
+            // `matched_ids` dedups.
+            if fresh {
                 p.count += msg.count;
             }
         } else {
@@ -667,6 +753,8 @@ impl SelectionNode {
                 // forwarded scope (prevents backward propagation, Fig.5 l.4).
                 p.dims &= !(1 << dim);
                 if let Some(n) = self.routing.neighbor(level, dim) {
+                    let attempt = p.next_attempt;
+                    p.next_attempt += 1;
                     let fwd = QueryMsg {
                         id: qid,
                         query: p.query.clone(),
@@ -676,8 +764,9 @@ impl SelectionNode {
                         dynamic: p.dynamic.clone(),
                         count_only: p.count_only,
                         visited_zero: Vec::new(),
+                        attempt,
                     };
-                    p.waiting.insert(n.id, deadline);
+                    p.waiting.insert(n.id, (deadline, attempt));
                     let (to, fwd_level) = (n.id, p.level);
                     self.obs.emit(|| Event::QueryForwarded {
                         at: now,
@@ -685,6 +774,7 @@ impl SelectionNode {
                         from: self.id,
                         to,
                         level: fwd_level,
+                        attempt,
                     });
                     out.push(Output::Send { to, msg: Message::Query(fwd) });
                     return out;
@@ -723,6 +813,8 @@ impl SelectionNode {
             visited.sort_unstable();
             visited.dedup();
             for id in targets {
+                let attempt = p.next_attempt;
+                p.next_attempt += 1;
                 let fwd = QueryMsg {
                     id: qid,
                     query: p.query.clone(),
@@ -732,8 +824,9 @@ impl SelectionNode {
                     dynamic: p.dynamic.clone(),
                     count_only: p.count_only,
                     visited_zero: visited.clone(),
+                    attempt,
                 };
-                p.waiting.insert(id, deadline);
+                p.waiting.insert(id, (deadline, attempt));
                 p.contacted_zero.insert(id);
                 self.obs.emit(|| Event::QueryForwarded {
                     at: now,
@@ -741,6 +834,7 @@ impl SelectionNode {
                     from: self.id,
                     to: id,
                     level: -1,
+                    attempt,
                 });
                 out.push(Output::Send { to: id, msg: Message::Query(fwd) });
             }
@@ -778,13 +872,29 @@ impl SelectionNode {
                     node: self.id,
                     to: upstream,
                     count: p.count,
+                    attempt: p.attempt,
                 });
+                if self.config.reply_cache > 0 {
+                    // Keep the final answer around so duplicate QUERYs
+                    // arriving after this point get the real reply again
+                    // instead of a results-destroying empty one.
+                    while self.reply_cache_order.len() >= self.config.reply_cache {
+                        let evict = self.reply_cache_order.pop_front().expect("non-empty");
+                        self.reply_cache.remove(&evict);
+                    }
+                    self.reply_cache.insert(
+                        qid,
+                        CachedReply { to: upstream, matching: p.matching.clone(), count: p.count },
+                    );
+                    self.reply_cache_order.push_back(qid);
+                }
                 vec![Output::Send {
                     to: upstream,
                     msg: Message::Reply(ReplyMsg {
                         id: qid,
                         matching: p.matching,
                         count: p.count,
+                        attempt: p.attempt,
                     }),
                 }]
             }
@@ -915,27 +1025,125 @@ mod tests {
         assert_eq!(b.pending_len(), 0, "leaf keeps no state");
     }
 
-    #[test]
-    fn duplicate_query_answered_empty() {
-        let s = space();
-        let mut a = node(1, [5, 5]);
-        let q = Query::builder(&s).build().unwrap();
-        let msg = QueryMsg {
-            id: QueryId { origin: 9, seq: 0 },
-            query: q.into(),
+    fn leaf_query(id: QueryId, attempt: u32) -> QueryMsg {
+        QueryMsg {
+            id,
+            query: Query::builder(&space()).build().unwrap().into(),
             sigma: None,
             level: -1,
             dims: 0,
             dynamic: Vec::new(),
             count_only: false,
             visited_zero: Vec::new(),
-        };
+            attempt,
+        }
+    }
+
+    /// A duplicate QUERY arriving *after* the node already answered is met
+    /// with a cached copy of the real reply (echoing the duplicate's
+    /// attempt id), so an upstream whose original REPLY was lost recovers
+    /// the actual results from a retry — never a results-destroying empty.
+    #[test]
+    fn duplicate_query_retransmits_cached_reply() {
+        let mut a = node(1, [5, 5]);
+        let msg = leaf_query(QueryId { origin: 9, seq: 0 }, 3);
         let first = a.handle_message(9, Message::Query(msg.clone()), 0);
-        assert!(matches!(&first[0], Output::Send { msg: Message::Reply(r), .. } if r.matching.len() == 1));
+        let Output::Send { to: 9, msg: Message::Reply(r) } = &first[0] else { panic!("{first:?}") };
+        assert_eq!(r.matching.len(), 1);
+        assert_eq!(r.attempt, 3, "reply echoes the query's attempt id");
+
+        let second = a.handle_message(9, Message::Query(msg.clone()), 1);
+        let Output::Send { to: 9, msg: Message::Reply(r) } = &second[0] else { panic!("{second:?}") };
+        assert_eq!(r.matching.len(), 1, "duplicate answered from the reply cache");
+        assert_eq!(r.count, 1);
+        assert_eq!(r.attempt, 3);
+        assert_eq!(a.duplicate_receipts(), 1);
+
+        // A copy arriving over a *different* edge is a cross-path delivery:
+        // that sender gets nothing from this subtree — empty, not cached.
+        let third = a.handle_message(8, Message::Query(msg), 2);
+        let Output::Send { to: 8, msg: Message::Reply(r) } = &third[0] else { panic!("{third:?}") };
+        assert!(r.matching.is_empty(), "cross-path duplicate answered empty");
+        assert_eq!(a.duplicate_receipts(), 2);
+    }
+
+    /// With the cache disabled (`reply_cache: 0`) a post-conclusion
+    /// duplicate falls back to the empty dedup-reply.
+    #[test]
+    fn reply_cache_zero_disables_retransmission() {
+        let s = space();
+        let cfg = ProtocolConfig { reply_cache: 0, ..ProtocolConfig::default() };
+        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).unwrap(), cfg);
+        let msg = leaf_query(QueryId { origin: 9, seq: 0 }, 1);
+        let _ = a.handle_message(9, Message::Query(msg.clone()), 0);
         let second = a.handle_message(9, Message::Query(msg), 1);
         let Output::Send { msg: Message::Reply(r), .. } = &second[0] else { panic!() };
-        assert!(r.matching.is_empty(), "duplicate answered empty");
-        assert_eq!(a.duplicate_receipts(), 1);
+        assert!(r.matching.is_empty(), "no cache, duplicate answered empty");
+    }
+
+    /// The cache is FIFO-bounded: concluding more upstream queries than
+    /// `reply_cache` evicts the oldest entry, whose duplicates then answer
+    /// empty again.
+    #[test]
+    fn reply_cache_evicts_fifo_at_its_bound() {
+        let s = space();
+        let cfg = ProtocolConfig { reply_cache: 2, ..ProtocolConfig::default() };
+        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).unwrap(), cfg);
+        for seq in 0..3 {
+            let msg = leaf_query(QueryId { origin: 9, seq }, 1);
+            let _ = a.handle_message(9, Message::Query(msg), u64::from(seq));
+        }
+        // seq 0 was evicted (bound 2), seqs 1 and 2 are still cached.
+        let dup0 = a.handle_message(9, Message::Query(leaf_query(QueryId { origin: 9, seq: 0 }, 1)), 10);
+        let Output::Send { msg: Message::Reply(r), .. } = &dup0[0] else { panic!() };
+        assert!(r.matching.is_empty(), "evicted entry answers empty");
+        let dup2 = a.handle_message(9, Message::Query(leaf_query(QueryId { origin: 9, seq: 2 }, 1)), 11);
+        let Output::Send { msg: Message::Reply(r), .. } = &dup2[0] else { panic!() };
+        assert_eq!(r.matching.len(), 1, "recent entry still cached");
+    }
+
+    /// The root of the PR-1 caveat: a duplicate QUERY arriving while the
+    /// receiver's subtree is still in flight must be *suppressed*, not
+    /// answered empty — the empty dedup-reply is exactly what used to race
+    /// ahead of the real REPLY and make the upstream conclude early.
+    #[test]
+    fn duplicate_while_pending_is_suppressed() {
+        let s = space();
+        let mut b = node(2, [5, 5]);
+        // B will forward into the query region, so the query stays pending.
+        b.routing_mut().observe(3, s.point(&[70, 70]).unwrap());
+        let msg = QueryMsg {
+            id: QueryId { origin: 1, seq: 0 },
+            query: Query::builder(&s).min("a0", 60).build().unwrap().into(),
+            sigma: None,
+            level: 3,
+            dims: all_dims(2),
+            dynamic: Vec::new(),
+            count_only: false,
+            visited_zero: Vec::new(),
+            attempt: 7,
+        };
+        let first = b.handle_message(1, Message::Query(msg.clone()), 0);
+        assert!(
+            matches!(&first[0], Output::Send { to: 3, msg: Message::Query(_) }),
+            "query forwarded into its subtree: {first:?}"
+        );
+        assert_eq!(b.pending_len(), 1);
+        let second = b.handle_message(1, Message::Query(msg), 1);
+        assert!(second.is_empty(), "duplicate while pending must stay silent: {second:?}");
+        assert_eq!(b.duplicate_receipts(), 1);
+
+        // The real subtree reply still flows upstream afterwards, echoing
+        // the upstream's attempt id.
+        let sub = b.handle_message(
+            3,
+            Message::Reply(ReplyMsg { id: QueryId { origin: 1, seq: 0 }, matching: Vec::new(), count: 0, attempt: 1 }),
+            2,
+        );
+        let Some(Output::Send { to: 1, msg: Message::Reply(r) }) = sub.last() else {
+            panic!("{sub:?}")
+        };
+        assert_eq!(r.attempt, 7);
     }
 
     #[test]
@@ -971,6 +1179,7 @@ mod tests {
                 id: qid,
                 matching: vec![Match { node: 2, values: b.point().clone() }],
                 count: 1,
+                attempt: 1,
             }),
             99,
         );
@@ -1021,7 +1230,7 @@ mod tests {
         let dup = Match { node: 2, values: b_point.clone() };
         let out2 = a.handle_message(
             *first,
-            Message::Reply(ReplyMsg { id: qid, matching: vec![dup.clone(), dup], count: 2 }),
+            Message::Reply(ReplyMsg { id: qid, matching: vec![dup.clone(), dup], count: 2, attempt: 1 }),
             1,
         );
         // Traversal continues or concludes; once concluded, count node 2 once.
@@ -1062,7 +1271,7 @@ mod tests {
         let (qid, out) = a.begin_count_query(q, Vec::new(), 0);
         let Output::Send { to: first, .. } = &out[0] else { panic!("{out:?}") };
 
-        let reply = Message::Reply(ReplyMsg { id: qid, matching: Vec::new(), count: 5 });
+        let reply = Message::Reply(ReplyMsg { id: qid, matching: Vec::new(), count: 5, attempt: 1 });
         let mut outs = a.handle_message(*first, reply.clone(), 1);
         assert_eq!(a.pending_len(), 1, "second subcell still outstanding");
         // The same reply delivered again (a duplication fault).
@@ -1074,6 +1283,54 @@ mod tests {
             _ => None,
         });
         assert_eq!(total, Some(5), "duplicated reply merged more than once");
+    }
+
+    /// Count-mode end to end under QUERY duplication: the downstream node
+    /// answers the duplicate with a cached *retransmission* of its real
+    /// count reply, and the upstream — still waiting on a second subtree —
+    /// must add that count at most once per attempt id, no matter how many
+    /// copies (original + retransmissions) arrive.
+    #[test]
+    fn retransmitted_count_reply_merges_once_per_attempt() {
+        let s = space();
+        let mut a = node(1, [5, 5]);
+        a.routing_mut().observe(2, s.point(&[70, 70]).unwrap()); // N(3,0)
+        a.routing_mut().observe(3, s.point(&[5, 70]).unwrap()); // N(3,1)
+        let q = Query::builder(&s).min("a1", 60).build().unwrap();
+        let (qid, out) = a.begin_count_query(q, Vec::new(), 0);
+        let Output::Send { to: first, msg: Message::Query(fwd) } = &out[0] else {
+            panic!("{out:?}")
+        };
+
+        // The downstream leaf B processes the forward, then a duplicated
+        // copy of the same forward: the second answer is the cached
+        // retransmission of the first, byte-identical.
+        let mut b = SelectionNode::new(*first, &s, s.point(&[70, 70]).unwrap(), ProtocolConfig::default());
+        let r1 = b.handle_message(1, Message::Query(fwd.clone()), 1);
+        let r2 = b.handle_message(1, Message::Query(fwd.clone()), 2);
+        let Output::Send { msg: Message::Reply(reply1), .. } = &r1[0] else { panic!("{r1:?}") };
+        let Output::Send { msg: Message::Reply(reply2), .. } = &r2[0] else { panic!("{r2:?}") };
+        assert_eq!(reply1, reply2, "retransmission replays the real reply");
+        assert_eq!(reply1.count, 1, "B matched itself");
+
+        // Both copies reach A while it still waits on the second subtree.
+        let mut outs = a.handle_message(*first, Message::Reply(reply1.clone()), 3);
+        outs.extend(a.handle_message(*first, Message::Reply(reply2.clone()), 4));
+        assert_eq!(a.pending_len(), 1, "second subcell still outstanding");
+        outs.extend(a.poll_timeouts(u64::MAX));
+        let total = outs.iter().find_map(|o| match o {
+            Output::Completed { count, .. } => Some(*count),
+            _ => None,
+        });
+        assert_eq!(*outs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Completed { id, .. } => Some(id),
+                _ => None,
+            })
+            .next()
+            .expect("concluded"), qid);
+        assert_eq!(total, Some(1), "retransmitted count added more than once per attempt");
     }
 
     /// The §4.1 epidemic relay: leaf receivers re-forward to same-`C0`

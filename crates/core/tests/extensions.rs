@@ -225,6 +225,7 @@ fn hostile_scope_fields_cannot_panic_a_node() {
             dynamic: Vec::new(),
             count_only: false,
             visited_zero: Vec::new(),
+            attempt: 1,
         };
         let outs = nodes[0].handle_message(999, Message::Query(msg), 0);
         assert!(!outs.is_empty(), "node answered or forwarded");

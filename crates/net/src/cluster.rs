@@ -282,6 +282,31 @@ impl NetCluster {
             .collect()
     }
 
+    /// Per-node routing-table link counts, as last published by each peer
+    /// after a view sync. Zero until a node's first gossip round.
+    pub fn link_counts(&self) -> HashMap<NodeId, u64> {
+        self.peers
+            .iter()
+            .map(|(&id, p)| (id, p.counters.links.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Mean routing-table link count across alive peers (0.0 when empty) —
+    /// the overlay's convergence gauge. Tests poll this with a bounded
+    /// deadline instead of sleeping a fixed warm-up, so they adapt to
+    /// loaded single-CPU machines instead of flaking on them.
+    pub fn mean_links(&self) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .peers
+            .values()
+            .map(|p| p.counters.links.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        total as f64 / self.peers.len() as f64
+    }
+
     /// The attribute values of `id`, if alive.
     pub fn point_of(&self, id: NodeId) -> Option<&Point> {
         self.peers.get(&id).map(|p| &p.point)

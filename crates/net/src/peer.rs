@@ -54,6 +54,9 @@ pub(crate) enum PeerEvent {
 pub(crate) struct PeerCounters {
     pub sent: AtomicU64,
     pub received: AtomicU64,
+    /// Routing-table link count, published after every view sync — a cheap
+    /// convergence gauge tests can poll instead of sleeping a fixed warm-up.
+    pub links: AtomicU64,
 }
 
 pub(crate) struct PeerTask {
@@ -141,6 +144,9 @@ impl PeerTask {
         let msgs = self.gossip.tick(now, &mut self.rng);
         let view = self.gossip.semantic_view().clone();
         self.selection.sync_from_view(&view, now, &mut self.rng);
+        self.counters
+            .links
+            .store(self.selection.routing().link_count() as u64, Ordering::Relaxed);
         for (to, m) in msgs {
             self.send(to, NetMessage::Gossip(m));
         }
@@ -159,6 +165,9 @@ impl PeerTask {
                 let replies = self.gossip.handle(from, g, &mut self.rng);
                 let view = self.gossip.semantic_view().clone();
                 self.selection.sync_from_view(&view, now, &mut self.rng);
+                self.counters
+                    .links
+                    .store(self.selection.routing().link_count() as u64, Ordering::Relaxed);
                 for (to, m) in replies {
                     self.send(to, NetMessage::Gossip(m));
                 }

@@ -341,6 +341,7 @@ mod tests {
             dynamic: Vec::new(),
             count_only: false,
             visited_zero: Vec::new(),
+            attempt: 1,
         }))
     }
 

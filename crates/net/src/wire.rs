@@ -69,6 +69,7 @@ pub fn encode(msg: &NetMessage) -> Bytes {
         NetMessage::Protocol(Message::Query(q)) => {
             buf.put_u8(TAG_QUERY);
             put_query_id(&mut buf, q.id);
+            buf.put_u32_le(q.attempt);
             match q.sigma {
                 Some(s) => {
                     buf.put_u8(1);
@@ -98,6 +99,7 @@ pub fn encode(msg: &NetMessage) -> Bytes {
         NetMessage::Protocol(Message::Reply(r)) => {
             buf.put_u8(TAG_REPLY);
             put_query_id(&mut buf, r.id);
+            buf.put_u32_le(r.attempt);
             buf.put_u64_le(r.count);
             buf.put_u32_le(r.matching.len() as u32);
             for m in &r.matching {
@@ -131,6 +133,7 @@ pub fn decode(space: &Space, mut buf: Bytes) -> Result<NetMessage, WireError> {
     let msg = match tag {
         TAG_QUERY => {
             let id = take_query_id(&mut buf)?;
+            let attempt = take_u32(&mut buf)?;
             let sigma = match take_u8(&mut buf)? {
                 0 => None,
                 _ => Some(take_u32(&mut buf)?),
@@ -166,10 +169,12 @@ pub fn decode(space: &Space, mut buf: Bytes) -> Result<NetMessage, WireError> {
                 dynamic,
                 count_only,
                 visited_zero,
+                attempt,
             }))
         }
         TAG_REPLY => {
             let id = take_query_id(&mut buf)?;
+            let attempt = take_u32(&mut buf)?;
             let count = take_u64(&mut buf)?;
             let n = take_u32(&mut buf)? as usize;
             let mut matching = Vec::with_capacity(n.min(1024));
@@ -178,7 +183,7 @@ pub fn decode(space: &Space, mut buf: Bytes) -> Result<NetMessage, WireError> {
                 let values = take_point(space, &mut buf)?;
                 matching.push(Match { node, values });
             }
-            NetMessage::Protocol(Message::Reply(ReplyMsg { id, matching, count }))
+            NetMessage::Protocol(Message::Reply(ReplyMsg { id, matching, count, attempt }))
         }
         TAG_GOSSIP_REQ => {
             let layer = take_layer(&mut buf)?;
@@ -318,6 +323,7 @@ mod tests {
             dynamic: vec![DynamicConstraint { key: 9, range: Range { lo: 5, hi: 10 } }],
             count_only: true,
             visited_zero: vec![3, 8],
+            attempt: 6,
         };
         let msg = NetMessage::Protocol(Message::Query(q.clone()));
         let back = decode(&s, encode(&msg)).unwrap();
@@ -334,6 +340,7 @@ mod tests {
                 Match { node: 9, values: s.point(&[70, 0, 80]).unwrap() },
             ],
             count: 2,
+            attempt: 4,
         }));
         assert_eq!(decode(&s, encode(&msg)).unwrap(), msg);
     }
@@ -376,6 +383,7 @@ mod tests {
             dynamic: Vec::new(),
             count_only: false,
             visited_zero: Vec::new(),
+            attempt: 1,
         }));
         assert!(matches!(
             decode(&s, encode(&msg)).unwrap_err(),

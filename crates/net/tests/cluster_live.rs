@@ -11,13 +11,34 @@ use autosel_obs::{ObsHandle, Registry, TraceTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Polls `pred` every 50 ms until it holds or `deadline` elapses; returns
+/// whether it ever held. Replaces the fixed warm-up sleeps that guessed at
+/// convergence speed and flaked on loaded single-CPU boxes: the condition is
+/// on observable cluster state, the deadline only bounds a hang.
+fn wait_until(mut pred: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = std::time::Instant::now();
+    loop {
+        if pred() {
+            return true;
+        }
+        if start.elapsed() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 /// Polls the cluster with `query` until delivery crosses `bar` or `tries`
 /// rounds elapse — debug builds on loaded CI boxes converge slowly, so the
-/// tests adapt instead of guessing a fixed warm-up sleep.
+/// tests adapt instead of guessing a fixed warm-up sleep. Between rounds it
+/// waits (bounded) for the overlay's mean link count to grow rather than
+/// sleeping blind: on a fast box the next attempt fires as soon as routing
+/// actually changed.
 fn wait_for_delivery(cluster: &mut NetCluster, query: &Query, bar: f64, tries: u32) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..tries {
-        std::thread::sleep(Duration::from_millis(700));
+        let links_before = cluster.mean_links();
+        let _ = wait_until(|| cluster.mean_links() > links_before, Duration::from_millis(700));
         let origin = cluster.random_node();
         if let Some(outcome) = cluster.query(origin, query.clone(), None, Duration::from_secs(30))
         {
@@ -81,13 +102,27 @@ fn sigma_queries_return_promptly_on_live_cluster() {
     let mut cluster =
         NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 3)
             .unwrap();
-    std::thread::sleep(Duration::from_millis(1_200));
+    assert!(
+        wait_until(|| cluster.mean_links() >= 1.0, Duration::from_secs(30)),
+        "overlay never formed routing links"
+    );
 
+    // The overlay keeps converging while we poll: retry until a σ=5 query
+    // actually finds 5 matches (bounded), instead of guessing a warm-up.
     let query = Query::builder(&space).min("a0", 10).build().unwrap();
-    let origin = cluster.random_node();
-    let outcome = cluster
-        .query(origin, query.clone(), Some(5), Duration::from_secs(20))
-        .expect("σ query completes");
+    let mut outcome = None;
+    for _ in 0..15 {
+        let origin = cluster.random_node();
+        if let Some(o) = cluster.query(origin, query.clone(), Some(5), Duration::from_secs(20)) {
+            let enough = o.matches.len() >= 5;
+            outcome = Some(o);
+            if enough {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let outcome = outcome.expect("σ query completes");
     assert!(outcome.matches.len() >= 5);
     assert!(outcome.matches.iter().all(|m| query.matches(&m.values)));
     cluster.shutdown();
@@ -101,7 +136,12 @@ fn overlay_survives_partial_kill_and_recovers() {
     let mut cluster =
         NetCluster::spawn(space.clone(), pts, cfg.clone(), Transport::mem(cfg.injected_latency_ms), 11)
             .unwrap();
-    std::thread::sleep(Duration::from_millis(1_500));
+    // Converge before the kill so the survivors have links to recover
+    // through; bounded wait on the link gauge, not a guessed sleep.
+    assert!(
+        wait_until(|| cluster.mean_links() >= 1.0, Duration::from_secs(30)),
+        "overlay never formed routing links"
+    );
 
     let victims = cluster.kill_fraction(0.3);
     assert!(!victims.is_empty());

@@ -44,6 +44,7 @@ fn arb_query_msg(space: Space) -> impl Strategy<Value = QueryMsg> {
                 .collect(),
             count_only: origin % 2 == 0,
             visited_zero: visited,
+            attempt: seq ^ dims,
         })
 }
 
@@ -59,7 +60,12 @@ fn arb_reply_msg(space: Space) -> impl Strategy<Value = ReplyMsg> {
                 .into_iter()
                 .map(|(node, vals)| Match { node, values: space.point(&vals).expect("arity") })
                 .collect();
-            ReplyMsg { id: QueryId { origin, seq }, count: matching.len() as u64, matching }
+            ReplyMsg {
+                id: QueryId { origin, seq },
+                count: matching.len() as u64,
+                matching,
+                attempt: seq.rotate_left(7),
+            }
         })
 }
 

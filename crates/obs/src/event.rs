@@ -119,6 +119,10 @@ pub enum Event {
         to: NodeRef,
         /// Hierarchy level `l` the subtree covers (-1 = whole space).
         level: i8,
+        /// Per-forward attempt id stamped on the QUERY; the subtree's REPLY
+        /// echoes it, which is how stale replies are told apart from live
+        /// ones in a trace.
+        attempt: u32,
     },
     /// A node received a QUERY message. `duplicate` deliveries (fault
     /// injection, retransmits) are answered with an empty dedup-REPLY and
@@ -151,10 +155,15 @@ pub enum Event {
         to: NodeRef,
         /// Matches accumulated in the subtree rooted at `node`.
         count: u64,
+        /// The attempt id the reply echoes (from the QUERY that opened this
+        /// node's span).
+        attempt: u32,
     },
     /// A node processed a REPLY from a downstream neighbor. `fresh` is
-    /// false when the reply was stale (sender no longer waited on —
-    /// e.g. after a timeout refire) and was dropped without merging.
+    /// false when the reply was genuinely stale — it echoed an attempt the
+    /// node no longer waits on (superseded forward, duplicated delivery,
+    /// post-timeout arrival) or the query had already concluded — and
+    /// could not clear a waiting entry or add a count.
     ReplyMerged {
         /// Timestamp in milliseconds.
         at: u64,
@@ -166,10 +175,13 @@ pub enum Event {
         from: NodeRef,
         /// Matches carried by the reply.
         count: u64,
-        /// Whether the sender was still awaited. Stale (`fresh = false`)
-        /// replies contribute nothing in count mode; in enumerate mode the
-        /// per-id dedup set decides what, if anything, they add.
+        /// Whether the sender was still awaited *for this exact attempt*.
+        /// Stale (`fresh = false`) replies contribute nothing in count
+        /// mode; in enumerate mode the per-id dedup set decides what, if
+        /// anything, they add.
         fresh: bool,
+        /// The attempt id the reply echoed.
+        attempt: u32,
     },
     /// The query timeout `T(q)` fired: `node` stopped waiting on `peer`
     /// and re-fired the subtree elsewhere (or gave up on it).
@@ -328,10 +340,11 @@ impl Event {
                 w.bool_field("count_only", count_only);
                 w.bool_field("matched", matched);
             }
-            Event::QueryForwarded { from, to, level, .. } => {
+            Event::QueryForwarded { from, to, level, attempt, .. } => {
                 w.u64_field("from", from);
                 w.u64_field("to", to);
                 w.i64_field("level", level as i64);
+                w.u64_field("attempt", attempt as u64);
             }
             Event::QueryReceived { node, parent, level, matched, duplicate, .. } => {
                 w.u64_field("node", node);
@@ -340,16 +353,18 @@ impl Event {
                 w.bool_field("matched", matched);
                 w.bool_field("duplicate", duplicate);
             }
-            Event::ReplySent { node, to, count, .. } => {
+            Event::ReplySent { node, to, count, attempt, .. } => {
                 w.u64_field("node", node);
                 w.u64_field("to", to);
                 w.u64_field("count", count);
+                w.u64_field("attempt", attempt as u64);
             }
-            Event::ReplyMerged { node, from, count, fresh, .. } => {
+            Event::ReplyMerged { node, from, count, fresh, attempt, .. } => {
                 w.u64_field("node", node);
                 w.u64_field("from", from);
                 w.u64_field("count", count);
                 w.bool_field("fresh", fresh);
+                w.u64_field("attempt", attempt as u64);
             }
             Event::TimeoutFired { node, peer, .. } => {
                 w.u64_field("node", node);
@@ -392,10 +407,10 @@ impl Event {
         };
         let known: &[&str] = match kind {
             "query_issued" => &["ev", "at", "q", "node", "sigma", "count_only", "matched"],
-            "query_forwarded" => &["ev", "at", "q", "from", "to", "level"],
+            "query_forwarded" => &["ev", "at", "q", "from", "to", "level", "attempt"],
             "query_received" => &["ev", "at", "q", "node", "parent", "level", "matched", "duplicate"],
-            "reply_sent" => &["ev", "at", "q", "node", "to", "count"],
-            "reply_merged" => &["ev", "at", "q", "node", "from", "count", "fresh"],
+            "reply_sent" => &["ev", "at", "q", "node", "to", "count", "attempt"],
+            "reply_merged" => &["ev", "at", "q", "node", "from", "count", "fresh", "attempt"],
             "timeout_fired" => &["ev", "at", "q", "node", "peer"],
             "sigma_stop" | "query_completed" => &["ev", "at", "q", "node", "count"],
             "gossip_round" => {
@@ -424,6 +439,7 @@ impl Event {
                 from: obj.u64("from")?,
                 to: obj.u64("to")?,
                 level: obj.i64("level")? as i8,
+                attempt: obj.u64("attempt")? as u32,
             },
             "query_received" => Event::QueryReceived {
                 at,
@@ -440,6 +456,7 @@ impl Event {
                 node: obj.u64("node")?,
                 to: obj.u64("to")?,
                 count: obj.u64("count")?,
+                attempt: obj.u64("attempt")? as u32,
             },
             "reply_merged" => Event::ReplyMerged {
                 at,
@@ -448,6 +465,7 @@ impl Event {
                 from: obj.u64("from")?,
                 count: obj.u64("count")?,
                 fresh: obj.bool("fresh")?,
+                attempt: obj.u64("attempt")? as u32,
             },
             "timeout_fired" => Event::TimeoutFired {
                 at,
@@ -509,7 +527,7 @@ mod tests {
                 matched: true,
             },
             Event::QueryIssued { at: 0, query: q, node: 7, sigma: None, count_only: true, matched: false },
-            Event::QueryForwarded { at: 1, query: q, from: 7, to: 12, level: -1 },
+            Event::QueryForwarded { at: 1, query: q, from: 7, to: 12, level: -1, attempt: 2 },
             Event::QueryReceived {
                 at: 2,
                 query: q,
@@ -519,8 +537,8 @@ mod tests {
                 matched: false,
                 duplicate: true,
             },
-            Event::ReplySent { at: 3, query: q, node: 12, to: 7, count: 4 },
-            Event::ReplyMerged { at: 4, query: q, node: 7, from: 12, count: 4, fresh: true },
+            Event::ReplySent { at: 3, query: q, node: 12, to: 7, count: 4, attempt: 2 },
+            Event::ReplyMerged { at: 4, query: q, node: 7, from: 12, count: 4, fresh: true, attempt: 2 },
             Event::TimeoutFired { at: 5, query: q, node: 7, peer: 12 },
             Event::SigmaStop { at: 6, query: q, node: 9, count: 51 },
             Event::QueryCompleted { at: 7, query: q, node: 7, count: 51 },
@@ -576,10 +594,11 @@ mod tests {
             from: 2,
             to: 9,
             level: 3,
+            attempt: 1,
         };
         assert_eq!(
             ev.to_json(),
-            r#"{"ev":"query_forwarded","at":17,"q":"q2#0","from":2,"to":9,"level":3}"#
+            r#"{"ev":"query_forwarded","at":17,"q":"q2#0","from":2,"to":9,"level":3,"attempt":1}"#
         );
     }
 }

@@ -111,7 +111,7 @@ mod tests {
                 count_only: false,
                 matched: true,
             },
-            Event::QueryForwarded { at: 1, query: q, from: 1, to: 2, level: 0 },
+            Event::QueryForwarded { at: 1, query: q, from: 1, to: 2, level: 0, attempt: 1 },
             Event::QueryCompleted { at: 9, query: q, node: 1, count: 3 },
         ];
         for ev in &evs {

@@ -34,7 +34,11 @@ pub struct Hop {
     pub reply: Option<(u64, u64)>,
     /// When the parent merged this hop's reply (fresh merges only).
     pub merged_at: Option<u64>,
-    /// Stale replies from this hop that the parent dropped.
+    /// Genuinely stale replies from this hop: copies echoing an attempt id
+    /// the parent no longer waited on (duplicated delivery, superseded
+    /// forward, post-conclusion arrival). Since attempt-tagged replies, a
+    /// stale reply never costs results — the fresh copy of the same
+    /// attempt, or the cached retransmission, carries them.
     pub stale_replies: u32,
     /// True when the parent's timeout fired while waiting on this hop.
     pub timed_out: bool,
@@ -121,7 +125,7 @@ impl State {
                     },
                 );
             }
-            Event::QueryForwarded { at, query, from, to, level } => {
+            Event::QueryForwarded { at, query, from, to, level, .. } => {
                 let Some(qt) = queries.get_mut(&query) else {
                     push_problem(problems, format!("{query}: forward {from}->{to} before issue"));
                     return;
@@ -183,7 +187,7 @@ impl State {
                     }
                 }
             }
-            Event::ReplySent { at, query, node, to: _, count } => {
+            Event::ReplySent { at, query, node, count, .. } => {
                 let Some(qt) = queries.get_mut(&query) else {
                     push_problem(problems, format!("{query}: reply from {node} before issue"));
                     return;
@@ -433,19 +437,19 @@ mod tests {
         let q = q();
         vec![
             Event::QueryIssued { at: 0, query: q, node: 1, sigma: Some(10), count_only: false, matched: true },
-            Event::QueryForwarded { at: 0, query: q, from: 1, to: 2, level: 1 },
-            Event::QueryForwarded { at: 0, query: q, from: 1, to: 3, level: 1 },
+            Event::QueryForwarded { at: 0, query: q, from: 1, to: 2, level: 1, attempt: 1 },
+            Event::QueryForwarded { at: 0, query: q, from: 1, to: 3, level: 1, attempt: 2 },
             Event::QueryReceived { at: 5, query: q, node: 2, parent: 1, level: 1, matched: true, duplicate: false },
             Event::QueryReceived { at: 5, query: q, node: 3, parent: 1, level: 1, matched: false, duplicate: false },
             Event::QueryReceived { at: 6, query: q, node: 3, parent: 1, level: 1, matched: false, duplicate: true },
-            Event::QueryForwarded { at: 5, query: q, from: 2, to: 4, level: 0 },
+            Event::QueryForwarded { at: 5, query: q, from: 2, to: 4, level: 0, attempt: 1 },
             Event::QueryReceived { at: 10, query: q, node: 4, parent: 2, level: 0, matched: true, duplicate: false },
-            Event::ReplySent { at: 10, query: q, node: 4, to: 2, count: 1 },
-            Event::ReplySent { at: 5, query: q, node: 3, to: 1, count: 0 },
-            Event::ReplyMerged { at: 10, query: q, node: 1, from: 3, count: 0, fresh: true },
-            Event::ReplyMerged { at: 15, query: q, node: 2, from: 4, count: 1, fresh: true },
-            Event::ReplySent { at: 15, query: q, node: 2, to: 1, count: 2 },
-            Event::ReplyMerged { at: 20, query: q, node: 1, from: 2, count: 2, fresh: true },
+            Event::ReplySent { at: 10, query: q, node: 4, to: 2, count: 1, attempt: 1 },
+            Event::ReplySent { at: 5, query: q, node: 3, to: 1, count: 0, attempt: 2 },
+            Event::ReplyMerged { at: 10, query: q, node: 1, from: 3, count: 0, fresh: true, attempt: 2 },
+            Event::ReplyMerged { at: 15, query: q, node: 2, from: 4, count: 1, fresh: true, attempt: 1 },
+            Event::ReplySent { at: 15, query: q, node: 2, to: 1, count: 2, attempt: 1 },
+            Event::ReplyMerged { at: 20, query: q, node: 1, from: 2, count: 2, fresh: true, attempt: 1 },
             Event::QueryCompleted { at: 20, query: q, node: 1, count: 3 },
         ]
     }
@@ -496,7 +500,7 @@ mod tests {
             count_only: false,
             matched: false,
         });
-        tree.apply(&Event::QueryForwarded { at: 1, query: q(), from: 99, to: 5, level: 0 });
+        tree.apply(&Event::QueryForwarded { at: 1, query: q(), from: 99, to: 5, level: 0, attempt: 1 });
         let problems = tree.problems();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("not a hop"), "{problems:?}");
@@ -545,7 +549,7 @@ mod tests {
             count_only: false,
             matched: false,
         });
-        tree.apply(&Event::QueryForwarded { at: 0, query: qr, from: 1, to: 2, level: 0 });
+        tree.apply(&Event::QueryForwarded { at: 0, query: qr, from: 1, to: 2, level: 0, attempt: 1 });
         tree.apply(&Event::QueryReceived {
             at: 3,
             query: qr,

@@ -21,6 +21,14 @@
 //!   reply routing, internally consistent stats, and — at quiescence — no
 //!   leaked per-query state on any surviving node.
 //!
+//! Orthogonally to the strict/relaxed split, a checker can demand *exact
+//! reporting*: every completed unbounded query must report exactly the
+//! matches it reached (`reported == matched_reached`). Strict mode always
+//! checks this; [`InvariantChecker::expect_exact_reporting`] turns it on
+//! for a relaxed checker too, which is the right setting for fault plans
+//! that duplicate or reorder messages but never lose them — attempt-tagged
+//! replies guarantee exactly-once accounting there.
+//!
 //! Drive the checks with
 //! [`SimCluster::run_to_quiescence_checked`](crate::SimCluster::run_to_quiescence_checked)
 //! /
@@ -103,6 +111,17 @@ pub enum InvariantViolation {
         /// The stranded query.
         query: QueryId,
     },
+    /// An unbounded query completed reporting a different number of matches
+    /// than it actually reached: duplication or reordering double-counted or
+    /// dropped a subtree contribution (exact-reporting checks only).
+    ReportedInexact {
+        /// The affected query.
+        query: QueryId,
+        /// Matches reported to the originator.
+        reported: u32,
+        /// Matching nodes actually reached by the traversal.
+        reached: u32,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -133,6 +152,10 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::IncompleteQuery { query } => {
                 write!(f, "query {query:?} never completed although the run quiesced")
             }
+            InvariantViolation::ReportedInexact { query, reported, reached } => write!(
+                f,
+                "query {query:?} reported {reported} matches but reached {reached}; accounting must be exact"
+            ),
         }
     }
 }
@@ -151,19 +174,30 @@ enum Mode {
 #[derive(Debug)]
 pub struct InvariantChecker {
     mode: Mode,
+    exact_reporting: bool,
     last_now: u64,
 }
 
 impl InvariantChecker {
-    /// Full-strength checks for fault-free runs.
+    /// Full-strength checks for fault-free runs (implies exact reporting).
     pub fn strict() -> Self {
-        InvariantChecker { mode: Mode::Strict, last_now: 0 }
+        InvariantChecker { mode: Mode::Strict, exact_reporting: true, last_now: 0 }
     }
 
     /// Fault-tolerant checks: duplicates / under-delivery / incompleteness
     /// are permitted, structural invariants are not.
     pub fn relaxed() -> Self {
-        InvariantChecker { mode: Mode::Relaxed, last_now: 0 }
+        InvariantChecker { mode: Mode::Relaxed, exact_reporting: false, last_now: 0 }
+    }
+
+    /// Additionally require `reported == matched_reached` for every
+    /// completed unbounded query. Correct for fault plans that duplicate
+    /// or reorder messages without losing them: delivery may still reach
+    /// every matching node, and attempt-tagged replies make the upstream
+    /// accounting exactly-once, so any drift is a protocol bug.
+    pub fn expect_exact_reporting(mut self) -> Self {
+        self.exact_reporting = true;
+        self
     }
 
     /// Invariants that must hold after *every* event.
@@ -186,6 +220,16 @@ impl InvariantChecker {
                     query: *qid,
                     detail: "matched_reached contains a node that never received the query",
                 });
+            }
+            if self.exact_reporting && stats.completed && stats.sigma.is_none() {
+                let reached = stats.matched_reached.len() as u32;
+                if stats.reported != reached {
+                    return Err(InvariantViolation::ReportedInexact {
+                        query: *qid,
+                        reported: stats.reported,
+                        reached,
+                    });
+                }
             }
             if self.mode == Mode::Strict {
                 // Churn/restart can add matching nodes after the truth

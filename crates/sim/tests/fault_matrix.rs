@@ -40,12 +40,16 @@ fn half_space_query(space: &Space) -> Query {
 }
 
 /// Runs `queries` sequential queries under `plan`, checking invariants
-/// after every event, and returns the per-query stats.
-fn run_plan(seed: u64, plan: &FaultPlan, strict: bool, queries: usize) -> Vec<QueryStats> {
+/// after every event, and returns the per-query stats. `exact` arms the
+/// exact-reporting check on a relaxed checker (strict always implies it) —
+/// right for plans that duplicate/reorder but never lose messages.
+fn run_plan(seed: u64, plan: &FaultPlan, strict: bool, exact: bool, queries: usize) -> Vec<QueryStats> {
     let (mut sim, space) = build(seed, 200);
     sim.set_fault_plan(plan.clone());
     let mut checker = if strict {
         InvariantChecker::strict()
+    } else if exact {
+        InvariantChecker::relaxed().expect_exact_reporting()
     } else {
         InvariantChecker::relaxed()
     };
@@ -70,19 +74,30 @@ fn mean_delivery(stats: &[QueryStats]) -> f64 {
 /// query must complete no matter the plan.
 #[test]
 fn fault_matrix_delivery_envelopes() {
-    // (name, plan, strict checker, per-seed minimum mean delivery)
-    let plans: Vec<(&str, FaultPlan, bool, f64)> = vec![
-        ("quiet", FaultPlan::new(), true, 1.0),
-        ("light-loss", FaultPlan::new().drop_all(0.02), false, 0.70),
-        ("heavy-loss", FaultPlan::new().drop_all(0.15), false, 0.20),
-        ("jitter", FaultPlan::new().delay_all(0.5, 10, 100), true, 1.0),
-        ("reorder", FaultPlan::new().reorder_all(0.5, 100), true, 1.0),
-        ("duplication", FaultPlan::new().duplicate_protocol(0.25, 1), false, 1.0),
-        ("flaky-node", FaultPlan::new().drop_node(7, 0.5), false, 0.55),
-        ("late-loss", FaultPlan::new().drop_window(Window::new(40, u64::MAX), 0.05), false, 0.55),
+    // (name, plan, strict checker, exact reporting, per-seed minimum mean
+    // delivery). Duplication/reorder plans never lose messages, so they run
+    // with the exact-reporting invariant armed: `reported` must equal
+    // `matched_reached` for every completed query (strict implies it).
+    let plans: Vec<(&str, FaultPlan, bool, bool, f64)> = vec![
+        ("quiet", FaultPlan::new(), true, true, 1.0),
+        ("light-loss", FaultPlan::new().drop_all(0.02), false, false, 0.70),
+        ("heavy-loss", FaultPlan::new().drop_all(0.15), false, false, 0.20),
+        ("jitter", FaultPlan::new().delay_all(0.5, 10, 100), true, true, 1.0),
+        ("reorder", FaultPlan::new().reorder_all(0.5, 100), true, true, 1.0),
+        ("duplication", FaultPlan::new().duplicate_protocol(0.25, 1), false, true, 1.0),
+        (
+            "dup-reorder",
+            FaultPlan::new().duplicate_protocol(0.5, 1).reorder_all(0.5, 100),
+            false,
+            true,
+            1.0,
+        ),
+        ("flaky-node", FaultPlan::new().drop_node(7, 0.5), false, false, 0.55),
+        ("late-loss", FaultPlan::new().drop_window(Window::new(40, u64::MAX), 0.05), false, false, 0.55),
         (
             "combo",
             FaultPlan::new().drop_all(0.05).delay_all(0.3, 20, 100).duplicate_protocol(0.1, 1),
+            false,
             false,
             0.40,
         ),
@@ -90,10 +105,10 @@ fn fault_matrix_delivery_envelopes() {
     assert!(plans.len() >= 8, "the issue demands at least 8 distinct plans");
 
     let mut mean_by_plan: Vec<(&str, f64)> = Vec::new();
-    for (name, plan, strict, min_delivery) in &plans {
+    for (name, plan, strict, exact, min_delivery) in &plans {
         let mut total = 0.0;
         for &seed in &SEEDS {
-            let stats = run_plan(seed, plan, *strict, 4);
+            let stats = run_plan(seed, plan, *strict, *exact, 4);
             let mean = mean_delivery(&stats);
             total += mean;
             assert!(
@@ -112,8 +127,15 @@ fn fault_matrix_delivery_envelopes() {
                     assert_eq!(st.duplicates, 0, "plan {name}: strict run saw duplicates");
                     assert_eq!(st.delivery(), 1.0, "plan {name}: strict run under-delivered");
                 }
+                if *exact {
+                    assert_eq!(
+                        st.reported,
+                        st.matched_reached.len() as u32,
+                        "plan {name} seed {seed}: reported drifted from matched_reached"
+                    );
+                }
             }
-            if *name == "duplication" {
+            if name.starts_with("dup") {
                 assert!(
                     stats.iter().any(|s| s.duplicates > 0),
                     "plan {name} seed {seed}: duplication fault produced no duplicate receipts"
@@ -367,19 +389,19 @@ fn injected_duplicates_panic_a_strict_harness() {
         .expect("exactly-once should hold");
 }
 
-/// The protocol itself shrugs duplicates off (the per-node `seen` set
-/// answers them empty): under a relaxed checker the same fault plan still
-/// yields 100% delivery, and the reported result set never contains a
-/// phantom or double-counted node. (It *can* under-report: the empty REPLY
-/// answering a duplicated QUERY copy may race ahead of the real subtree
-/// REPLY, making the upstream conclude early — duplication costs results,
-/// it never fabricates them.)
+/// The protocol itself shrugs duplicates off: a duplicated QUERY while the
+/// subtree is in flight is suppressed (the eventual real REPLY answers it),
+/// and one arriving after conclusion is answered by retransmitting the
+/// cached final REPLY. Under a relaxed checker with exact reporting armed,
+/// the same fault plan yields 100% delivery and a result set that contains
+/// every matching node exactly once — no phantoms, no double counts, no
+/// under-count.
 #[test]
 fn duplicates_do_not_corrupt_results() {
     for &seed in &SEEDS {
         let (mut sim, space) = build(seed, 200);
         sim.set_fault_plan(FaultPlan::new().duplicate_protocol(1.0, 1));
-        let mut checker = InvariantChecker::relaxed();
+        let mut checker = InvariantChecker::relaxed().expect_exact_reporting();
         let origin = sim.random_node();
         let query = half_space_query(&space);
         let qid = sim.issue_query(origin, query.clone(), None);
@@ -387,7 +409,7 @@ fn duplicates_do_not_corrupt_results() {
         let st = sim.query_stats(qid).unwrap();
         assert!(st.completed);
         assert_eq!(st.delivery(), 1.0, "seed {seed}");
-        assert!(st.reported <= st.truth, "duplicates must not inflate the answer");
+        assert_eq!(st.reported, st.truth, "duplicates must not change the answer");
         assert!(st.duplicates > 0, "every message was doubled; dedup must have fired");
         let matches = sim.query_result(qid).expect("enumeration completed");
         let mut ids: Vec<_> = matches.iter().map(|m| m.node).collect();
@@ -399,22 +421,20 @@ fn duplicates_do_not_corrupt_results() {
     }
 }
 
-/// Pins the caveat documented in `docs/TESTING.md` (“duplication can cost
-/// results”): under duplication faults the *reported* result set may
-/// under-count — the empty REPLY answering a duplicated QUERY copy can race
-/// ahead of the real subtree REPLY, making the upstream conclude early —
-/// while *delivery* (`matched_reached`) is unaffected, because every
-/// matching node still received the query. The exact relationship, per
-/// query: `reported ≤ matched_reached = truth`, and across these pinned
-/// seeds the inequality is strict at least once (the under-count is real,
-/// not hypothetical).
+/// Exactly-once accounting under worst-case duplication (every protocol
+/// message doubled): attempt-tagged replies let the upstream merge each
+/// forward's subtree exactly once, duplicates arriving while the subtree is
+/// in flight are suppressed rather than answered early, and duplicates
+/// arriving after conclusion are answered from the bounded reply cache. Per
+/// query, across the same pinned seeds that used to reproduce the
+/// under-count: `reported == matched_reached == truth` and delivery is
+/// 1.0 — with the exact-reporting invariant auditing every event on top.
 #[test]
-fn duplication_undercounts_reported_but_never_delivery() {
-    let mut undercount_seen = false;
+fn duplication_reports_exactly() {
     for &seed in &SEEDS {
         let (mut sim, space) = build(seed, 200);
         sim.set_fault_plan(FaultPlan::new().duplicate_protocol(1.0, 1));
-        let mut checker = InvariantChecker::relaxed();
+        let mut checker = InvariantChecker::relaxed().expect_exact_reporting();
         for _ in 0..4 {
             let origin = sim.random_node();
             let qid = sim.issue_query(origin, half_space_query(&space), None);
@@ -423,30 +443,24 @@ fn duplication_undercounts_reported_but_never_delivery() {
             let st = sim.query_stats(qid).unwrap();
             assert!(st.completed, "seed {seed}: query never completed");
             assert!(st.duplicates > 0, "seed {seed}: plan injected no duplicates");
-            // Delivery side: unaffected. Every matching node was reached.
+            // Delivery side: every matching node was reached.
             assert_eq!(st.delivery(), 1.0, "seed {seed}: duplication dented delivery");
             assert_eq!(
                 st.matched_reached.len() as u32,
                 st.truth,
                 "seed {seed}: matched_reached must equal ground truth"
             );
-            // Reporting side: bounded above by what was reached, never
-            // inflated past it.
-            assert!(
-                st.reported <= st.matched_reached.len() as u32,
-                "seed {seed}: reported {} exceeds matched_reached {}",
+            // Reporting side: exactly what was reached — no more, no less.
+            assert_eq!(
+                st.reported,
+                st.matched_reached.len() as u32,
+                "seed {seed}: reported {} != matched_reached {}",
                 st.reported,
                 st.matched_reached.len()
             );
-            undercount_seen |= st.reported < st.matched_reached.len() as u32;
             sim.forget_query(qid);
         }
     }
-    assert!(
-        undercount_seen,
-        "pinned seeds no longer reproduce an under-count; the caveat in \
-         docs/TESTING.md may be stale — re-verify before weakening this test"
-    );
 }
 
 /// Count-mode totals must survive duplicated REPLY deliveries. A count
