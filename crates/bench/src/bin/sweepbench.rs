@@ -28,6 +28,8 @@
 //!   cargo run --release -p bench --bin sweepbench -- --check
 //! ```
 
+// lint:allow-file(wall-clock) — this benchmark *measures* real elapsed
+// time; wall clock is the instrument, not a leak into simulated time.
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io::Write as _;

@@ -13,6 +13,8 @@
 //! Not collision-resistant against adversarial keys; use only for internal
 //! identifiers, never for attacker-controlled input.
 
+// lint:allow-file(std-collections) — this module *wraps* the std maps to
+// build the deterministic FastMap/FastSet aliases everyone else must use.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 
@@ -128,6 +130,43 @@ impl BuildHasher for FastHashState {
 pub type FastMap<K, V> = HashMap<K, V, FastHashState>;
 /// `HashSet` of internal identifiers, using [`FastHasher`].
 pub type FastSet<T> = HashSet<T, FastHashState>;
+
+/// Word-at-a-time FNV-1a 64, used for state fingerprints (node state, the
+/// simulator's exploration hashes). Distinct from [`FastHasher`] on
+/// purpose: fingerprints are compared *across* processes and stored in
+/// exploration caches, so they use the textbook constants rather than
+/// whatever the map hasher of the day is.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Mixes one word in, byte-at-a-time little-endian.
+    pub fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
 
 #[cfg(test)]
 mod tests {

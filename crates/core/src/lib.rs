@@ -70,7 +70,7 @@ mod routing;
 mod selector;
 
 pub use messages::{DynamicConstraint, Match, Message, QueryId, QueryMsg, ReplyMsg};
-pub use node::{Output, ProtocolConfig, SelectionNode};
+pub use node::{ChoicePoint, Output, ProtocolConfig, SelectionNode};
 pub use profile::NodeProfile;
 pub use routing::{NeighborEntry, RoutingTable};
 pub use selector::SlotSelector;

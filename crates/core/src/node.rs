@@ -130,6 +130,27 @@ impl PendingQuery {
     }
 }
 
+/// One outstanding non-deterministic decision at a node: a forwarded
+/// subtree whose REPLY has not arrived yet. The environment (network,
+/// simulator, or a model checker) decides what happens next — the reply is
+/// delivered, delayed past `deadline`, or the attempt is superseded.
+///
+/// This is the protocol's *entire* branching surface: every divergence
+/// between two executions of the same scenario is an ordering of these
+/// resolutions, which is what makes the `autosel-analyze` explorer's
+/// schedule enumeration exhaustive rather than heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChoicePoint {
+    /// The query whose traversal is blocked on this decision.
+    pub query: QueryId,
+    /// The peer owing a REPLY.
+    pub peer: NodeId,
+    /// Absolute deadline (driver clock, ms) after which `T(q)` fires.
+    pub deadline: u64,
+    /// The attempt id the reply must echo to merge fresh.
+    pub attempt: u32,
+}
+
 /// A concluded query's final answer, kept for retransmission to late
 /// duplicate QUERY deliveries (see [`ProtocolConfig::reply_cache`]).
 #[derive(Debug)]
@@ -178,6 +199,11 @@ pub struct SelectionNode {
     seq: u32,
     duplicate_receipts: u64,
     timeouts_fired: u64,
+    /// Test-only fault re-injection: answer duplicates of still-pending
+    /// queries with an unconditional empty dedup-reply (the pre-attempt-tag
+    /// race). Never set outside analysis harnesses; see
+    /// [`inject_empty_dedup_reply_bug`](Self::inject_empty_dedup_reply_bug).
+    buggy_empty_dedup_reply: bool,
     /// Observability sink; null by default (one dead branch per emission).
     obs: ObsHandle,
 }
@@ -188,6 +214,8 @@ pub struct SelectionNode {
 fn qref(id: QueryId) -> QueryRef {
     QueryRef::new(id.origin, id.seq)
 }
+
+use crate::fasthash::Fnv64 as Fnv;
 
 impl SelectionNode {
     /// Creates a node at `point` with an empty routing table.
@@ -215,8 +243,26 @@ impl SelectionNode {
             seq: 0,
             duplicate_receipts: 0,
             timeouts_fired: 0,
+            buggy_empty_dedup_reply: false,
             obs: ObsHandle::null(),
         }
+    }
+
+    /// Re-introduces the historical dedup-reply race for mutation testing:
+    /// a duplicate QUERY received while the original is still in flight is
+    /// answered with an **empty** reply echoing the duplicate's attempt id,
+    /// instead of being suppressed. Because a fault-duplicated copy carries
+    /// the *live* attempt id, the empty reply fresh-merges upstream and
+    /// clears the waiting entry before the real subtree REPLY arrives —
+    /// silently discarding that subtree's results.
+    ///
+    /// This exists so the `autosel-analyze` explorer can prove it detects
+    /// the race (the PR-4 regression) within its schedule budget. It is
+    /// never enabled by any driver; the flag costs nothing on the hot path
+    /// (checked only after the duplicate-receipt branch is already taken).
+    #[doc(hidden)]
+    pub fn inject_empty_dedup_reply_bug(&mut self) {
+        self.buggy_empty_dedup_reply = true;
     }
 
     /// Installs an observability sink. The default is the null handle;
@@ -316,6 +362,133 @@ impl SelectionNode {
             .get(&id)
             .map(|p| p.waiting.iter().map(|(&n, &(d, _))| (n, d)).collect())
             .unwrap_or_default()
+    }
+
+    /// Every outstanding non-deterministic decision at this node, across
+    /// all in-flight queries, in a canonical (sorted) order: one
+    /// [`ChoicePoint`] per `(query, awaited peer)` pair. The set is empty
+    /// exactly when the node's behaviour is a pure function of the next
+    /// message — i.e. nothing about its future depends on arrival order.
+    ///
+    /// This is the hook the `autosel-analyze` model checker enumerates
+    /// schedules over; drivers may also log it to explain *why* a traversal
+    /// is stalled.
+    pub fn choice_points(&self) -> Vec<ChoicePoint> {
+        let mut out: Vec<ChoicePoint> = self
+            .pending
+            .iter()
+            .flat_map(|(&query, p)| {
+                p.waiting
+                    .iter()
+                    .map(move |(&peer, &(deadline, attempt))| ChoicePoint {
+                        query,
+                        peer,
+                        deadline,
+                        attempt,
+                    })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// A 64-bit FNV-1a digest of this node's complete protocol state —
+    /// pending records (scope frontier, counts, waiting map with deadlines
+    /// and attempt ids), the duplicate-suppression set, the reply cache,
+    /// routing links, and the monotone counters. Two nodes with equal
+    /// fingerprints behave identically on every future input (modulo hash
+    /// collisions), which is what lets the model checker prune revisited
+    /// states soundly.
+    ///
+    /// Everything order-dependent is serialized in a canonical sorted
+    /// order, so the digest is independent of map iteration and of the
+    /// schedule that produced the state. Match *lists* are hashed as sorted
+    /// id sets: their order varies with merge order but affects no protocol
+    /// decision and no checked invariant.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.id);
+        h.word(u64::from(self.seq));
+        h.word(self.duplicate_receipts);
+        h.word(self.timeouts_fired);
+        for &v in self.point.values() {
+            h.word(v);
+        }
+        let mut dynamic: Vec<(u32, attrspace::RawValue)> =
+            self.dynamic.iter().map(|(&k, &v)| (k, v)).collect();
+        dynamic.sort_unstable();
+        for (k, v) in dynamic {
+            h.word(u64::from(k));
+            h.word(v);
+        }
+
+        let mut qids: Vec<QueryId> = self.pending.keys().copied().collect();
+        qids.sort_unstable();
+        h.word(qids.len() as u64);
+        for qid in qids {
+            let p = &self.pending[&qid];
+            h.word(qid.origin);
+            h.word(u64::from(qid.seq));
+            h.word(p.level as u64);
+            h.word(u64::from(p.dims));
+            h.word(p.sigma.map_or(u64::MAX, u64::from));
+            h.word(p.reply_to.map_or(u64::MAX, |n| n));
+            h.word(u64::from(p.count_only));
+            h.word(p.count);
+            h.word(u64::from(p.attempt));
+            h.word(u64::from(p.next_attempt));
+            let mut waiting: Vec<(NodeId, u64, u32)> =
+                p.waiting.iter().map(|(&n, &(d, a))| (n, d, a)).collect();
+            waiting.sort_unstable();
+            h.word(waiting.len() as u64);
+            for (n, d, a) in waiting {
+                h.word(n);
+                h.word(d);
+                h.word(u64::from(a));
+            }
+            for set in [&p.matched_ids, &p.contacted_zero, &p.visited_zero] {
+                let mut ids: Vec<NodeId> = set.iter().copied().collect();
+                ids.sort_unstable();
+                h.word(ids.len() as u64);
+                for n in ids {
+                    h.word(n);
+                }
+            }
+        }
+
+        let mut seen: Vec<QueryId> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        h.word(seen.len() as u64);
+        for qid in seen {
+            h.word(qid.origin);
+            h.word(u64::from(qid.seq));
+        }
+
+        let mut cached: Vec<QueryId> = self.reply_cache.keys().copied().collect();
+        cached.sort_unstable();
+        h.word(cached.len() as u64);
+        for qid in cached {
+            let c = &self.reply_cache[&qid];
+            h.word(qid.origin);
+            h.word(u64::from(qid.seq));
+            h.word(c.to);
+            h.word(c.count);
+            let mut ids: Vec<NodeId> = c.matching.iter().map(|m| m.node).collect();
+            ids.sort_unstable();
+            for n in ids {
+                h.word(n);
+            }
+        }
+
+        for (level, dim, e) in self.routing.filled_slots() {
+            h.word(u64::from(level));
+            h.word(dim as u64);
+            h.word(e.id);
+        }
+        for e in self.routing.zero_neighbors() {
+            h.word(e.id);
+        }
+        h.finish()
     }
 
     /// Changes this node's attribute values. The routing table is rebuilt
@@ -559,6 +732,20 @@ impl SelectionNode {
                 });
             }
             let Some(from) = from else { return Vec::new() };
+            if self.buggy_empty_dedup_reply && self.pending.contains_key(&msg.id) {
+                // Mutation hook (see `inject_empty_dedup_reply_bug`): the
+                // historical behaviour answered *every* duplicate empty,
+                // even mid-flight — the race the explorer must detect.
+                return vec![Output::Send {
+                    to: from,
+                    msg: Message::Reply(ReplyMsg {
+                        id: msg.id,
+                        matching: Vec::new(),
+                        count: 0,
+                        attempt: msg.attempt,
+                    }),
+                }];
+            }
             if let Some(p) = self.pending.get_mut(&msg.id) {
                 if p.reply_to == Some(from) {
                     // Still in flight for this same upstream: stay silent —
@@ -681,6 +868,16 @@ impl SelectionNode {
         // the entry here is what used to conclude the upstream early.
         let fresh = match p.waiting.get(&from) {
             Some(&(_, attempt)) if attempt == msg.attempt => {
+                // Waiting entries only ever hold attempt ids this node
+                // stamped, all below `next_attempt` — a fresh merge echoing
+                // an id never issued means the waiting map was corrupted.
+                debug_assert!(
+                    msg.attempt < p.next_attempt,
+                    "query {} merged reply echoing unissued attempt {} (next: {})",
+                    msg.id,
+                    msg.attempt,
+                    p.next_attempt
+                );
                 p.waiting.remove(&from);
                 true
             }
@@ -755,6 +952,13 @@ impl SelectionNode {
                 if let Some(n) = self.routing.neighbor(level, dim) {
                     let attempt = p.next_attempt;
                     p.next_attempt += 1;
+                    // Attempt monotonicity: every freshly stamped id must
+                    // strictly exceed everything still awaited, or a stale
+                    // reply could masquerade as the live one.
+                    debug_assert!(
+                        p.waiting.values().all(|&(_, a)| a < attempt),
+                        "query {qid} stamped non-monotone attempt {attempt}"
+                    );
                     let fwd = QueryMsg {
                         id: qid,
                         query: p.query.clone(),
@@ -815,6 +1019,10 @@ impl SelectionNode {
             for id in targets {
                 let attempt = p.next_attempt;
                 p.next_attempt += 1;
+                debug_assert!(
+                    p.waiting.values().all(|&(_, a)| a < attempt),
+                    "query {qid} stamped non-monotone attempt {attempt}"
+                );
                 let fwd = QueryMsg {
                     id: qid,
                     query: p.query.clone(),
@@ -854,6 +1062,15 @@ impl SelectionNode {
     /// when this node originated it.
     fn conclude(&mut self, qid: QueryId, now: u64) -> Vec<Output> {
         let p = self.pending.remove(&qid).expect("pending query");
+        debug_assert!(
+            p.waiting.is_empty(),
+            "query {qid} concluded with {} live subtree(s) still waiting",
+            p.waiting.len()
+        );
+        debug_assert!(
+            !self.reply_cache.contains_key(&qid),
+            "query {qid} concluded twice: final reply already cached"
+        );
         // A conclusion with unexplored scope left (level ≥ 0) can only mean
         // the σ bound cut the traversal short here.
         if p.sigma_met() && p.level >= 0 {
@@ -917,12 +1134,12 @@ mod tests {
     use attrspace::Query;
 
     fn space() -> Space {
-        Space::uniform(2, 80, 3).unwrap()
+        Space::uniform(2, 80, 3).expect("valid 2-d space geometry")
     }
 
     fn node(id: NodeId, vals: [u64; 2]) -> SelectionNode {
         let s = space();
-        SelectionNode::new(id, &s, s.point(&vals).unwrap(), ProtocolConfig::default())
+        SelectionNode::new(id, &s, s.point(&vals).expect("coords lie inside the space"), ProtocolConfig::default())
     }
 
     fn deliver(to: &mut SelectionNode, from: NodeId, out: &[Output], now: u64) -> Vec<Output> {
@@ -939,7 +1156,7 @@ mod tests {
     #[test]
     fn self_match_with_sigma_one_completes_locally() {
         let mut a = node(1, [70, 70]);
-        let q = Query::builder(&space()).min("a0", 60).build().unwrap();
+        let q = Query::builder(&space()).min("a0", 60).build().expect("well-formed query");
         let (id, out) = a.begin_query(q, Some(1), 0);
         assert_eq!(out.len(), 1);
         let Output::Completed { id: got, matches, .. } = &out[0] else {
@@ -954,7 +1171,7 @@ mod tests {
     #[test]
     fn no_neighbors_no_match_completes_empty() {
         let mut a = node(1, [5, 5]);
-        let q = Query::builder(&space()).min("a0", 60).build().unwrap();
+        let q = Query::builder(&space()).min("a0", 60).build().expect("well-formed query");
         let (_, out) = a.begin_query(q, None, 0);
         let Output::Completed { matches, .. } = &out[0] else { panic!("{out:?}") };
         assert!(matches.is_empty());
@@ -965,7 +1182,7 @@ mod tests {
         let mut a = node(1, [5, 5]);
         let mut b = node(2, [70, 70]);
         a.routing_mut().observe(2, b.point().clone());
-        let q = Query::builder(&space()).min("a0", 60).min("a1", 60).build().unwrap();
+        let q = Query::builder(&space()).min("a0", 60).min("a1", 60).build().expect("well-formed query");
         let (qid, out) = a.begin_query(q, None, 0);
         // A forwards to B (the only link toward the query region).
         assert!(matches!(&out[0], Output::Send { to: 2, msg: Message::Query(_) }));
@@ -989,10 +1206,10 @@ mod tests {
         let s = space();
         let mut a = node(1, [5, 5]);
         // Three C0 mates, two of which match the query.
-        a.routing_mut().observe(2, s.point(&[6, 6]).unwrap());
-        a.routing_mut().observe(3, s.point(&[7, 7]).unwrap());
-        a.routing_mut().observe(4, s.point(&[3, 3]).unwrap());
-        let q = Query::builder(&s).range("a0", 5, 9).range("a1", 5, 9).build().unwrap();
+        a.routing_mut().observe(2, s.point(&[6, 6]).expect("coords lie inside the space"));
+        a.routing_mut().observe(3, s.point(&[7, 7]).expect("coords lie inside the space"));
+        a.routing_mut().observe(4, s.point(&[3, 3]).expect("coords lie inside the space"));
+        let q = Query::builder(&s).range("a0", 5, 9).range("a1", 5, 9).build().expect("well-formed query");
         let (_, out) = a.begin_query(q.clone(), None, 0);
         let targets: FastSet<NodeId> = out
             .iter()
@@ -1028,7 +1245,7 @@ mod tests {
     fn leaf_query(id: QueryId, attempt: u32) -> QueryMsg {
         QueryMsg {
             id,
-            query: Query::builder(&space()).build().unwrap().into(),
+            query: Query::builder(&space()).build().expect("well-formed query").into(),
             sigma: None,
             level: -1,
             dims: 0,
@@ -1073,7 +1290,7 @@ mod tests {
     fn reply_cache_zero_disables_retransmission() {
         let s = space();
         let cfg = ProtocolConfig { reply_cache: 0, ..ProtocolConfig::default() };
-        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).unwrap(), cfg);
+        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).expect("coords lie inside the space"), cfg);
         let msg = leaf_query(QueryId { origin: 9, seq: 0 }, 1);
         let _ = a.handle_message(9, Message::Query(msg.clone()), 0);
         let second = a.handle_message(9, Message::Query(msg), 1);
@@ -1088,7 +1305,7 @@ mod tests {
     fn reply_cache_evicts_fifo_at_its_bound() {
         let s = space();
         let cfg = ProtocolConfig { reply_cache: 2, ..ProtocolConfig::default() };
-        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).unwrap(), cfg);
+        let mut a = SelectionNode::new(1, &s, s.point(&[5, 5]).expect("coords lie inside the space"), cfg);
         for seq in 0..3 {
             let msg = leaf_query(QueryId { origin: 9, seq }, 1);
             let _ = a.handle_message(9, Message::Query(msg), u64::from(seq));
@@ -1111,10 +1328,10 @@ mod tests {
         let s = space();
         let mut b = node(2, [5, 5]);
         // B will forward into the query region, so the query stays pending.
-        b.routing_mut().observe(3, s.point(&[70, 70]).unwrap());
+        b.routing_mut().observe(3, s.point(&[70, 70]).expect("coords lie inside the space"));
         let msg = QueryMsg {
             id: QueryId { origin: 1, seq: 0 },
-            query: Query::builder(&s).min("a0", 60).build().unwrap().into(),
+            query: Query::builder(&s).min("a0", 60).build().expect("well-formed query").into(),
             sigma: None,
             level: 3,
             dims: all_dims(2),
@@ -1151,7 +1368,7 @@ mod tests {
         let mut a = node(1, [5, 5]);
         let mut dead = node(2, [70, 70]);
         a.routing_mut().observe(2, dead.point().clone());
-        let q = Query::builder(&space()).min("a0", 60).build().unwrap();
+        let q = Query::builder(&space()).min("a0", 60).build().expect("well-formed query");
         let (qid, out) = a.begin_query(q, None, 0);
         assert!(matches!(&out[0], Output::Send { to: 2, .. }));
         let _ = &mut dead; // never answers
@@ -1170,7 +1387,7 @@ mod tests {
         let mut a = node(1, [5, 5]);
         let b = node(2, [70, 70]);
         a.routing_mut().observe(2, b.point().clone());
-        let q = Query::builder(&space()).min("a0", 60).build().unwrap();
+        let q = Query::builder(&space()).min("a0", 60).build().expect("well-formed query");
         let (qid, _) = a.begin_query(q, None, 0);
         let _ = a.poll_timeouts(u64::MAX);
         let out = a.handle_message(
@@ -1192,8 +1409,8 @@ mod tests {
         // check, so σ=0 still reports the local self-match — but nothing is
         // ever forwarded.
         let mut a = node(1, [70, 70]);
-        a.routing_mut().observe(2, space().point(&[5, 5]).unwrap());
-        let q = Query::builder(&space()).build().unwrap();
+        a.routing_mut().observe(2, space().point(&[5, 5]).expect("coords lie inside the space"));
+        let q = Query::builder(&space()).build().expect("well-formed query");
         let (_, out) = a.begin_query(q, Some(0), 0);
         assert_eq!(out.len(), 1, "no forwarding under met σ");
         let Output::Completed { matches, .. } = &out[0] else { panic!("{out:?}") };
@@ -1204,9 +1421,9 @@ mod tests {
     #[test]
     fn set_point_moves_cell_and_clears_routing() {
         let mut a = node(1, [5, 5]);
-        a.routing_mut().observe(2, space().point(&[6, 6]).unwrap());
+        a.routing_mut().observe(2, space().point(&[6, 6]).expect("coords lie inside the space"));
         assert_eq!(a.routing().link_count(), 1);
-        a.set_point(space().point(&[75, 75]).unwrap());
+        a.set_point(space().point(&[75, 75]).expect("coords lie inside the space"));
         assert_eq!(a.coord().indices(), &[7, 7]);
         assert_eq!(a.routing().link_count(), 0);
     }
@@ -1215,15 +1432,15 @@ mod tests {
     fn reply_merging_dedupes_matches() {
         let mut a = node(1, [5, 5]);
         let s = space();
-        let b_point = s.point(&[70, 5]).unwrap();
-        let c_point = s.point(&[5, 70]).unwrap();
+        let b_point = s.point(&[70, 5]).expect("coords lie inside the space");
+        let c_point = s.point(&[5, 70]).expect("coords lie inside the space");
         a.routing_mut().observe(2, b_point.clone());
         a.routing_mut().observe(3, c_point.clone());
         // Query spanning both neighbors' cells (but not A's).
         let q = Query::builder(&s)
             .range("a0", 60, 79)
             .build()
-            .unwrap();
+            .expect("well-formed query");
         let (qid, out1) = a.begin_query(q, None, 0);
         // First subtree: B replies claiming both B and (spuriously) B again.
         let Output::Send { to: first, .. } = &out1[0] else { panic!() };
@@ -1265,9 +1482,9 @@ mod tests {
     fn duplicated_reply_counts_once_in_count_mode() {
         let s = space();
         let mut a = node(1, [5, 5]);
-        a.routing_mut().observe(2, s.point(&[70, 70]).unwrap()); // N(3,0)
-        a.routing_mut().observe(3, s.point(&[5, 70]).unwrap()); // N(3,1)
-        let q = Query::builder(&s).min("a1", 60).build().unwrap();
+        a.routing_mut().observe(2, s.point(&[70, 70]).expect("coords lie inside the space")); // N(3,0)
+        a.routing_mut().observe(3, s.point(&[5, 70]).expect("coords lie inside the space")); // N(3,1)
+        let q = Query::builder(&s).min("a1", 60).build().expect("well-formed query");
         let (qid, out) = a.begin_count_query(q, Vec::new(), 0);
         let Output::Send { to: first, .. } = &out[0] else { panic!("{out:?}") };
 
@@ -1294,9 +1511,9 @@ mod tests {
     fn retransmitted_count_reply_merges_once_per_attempt() {
         let s = space();
         let mut a = node(1, [5, 5]);
-        a.routing_mut().observe(2, s.point(&[70, 70]).unwrap()); // N(3,0)
-        a.routing_mut().observe(3, s.point(&[5, 70]).unwrap()); // N(3,1)
-        let q = Query::builder(&s).min("a1", 60).build().unwrap();
+        a.routing_mut().observe(2, s.point(&[70, 70]).expect("coords lie inside the space")); // N(3,0)
+        a.routing_mut().observe(3, s.point(&[5, 70]).expect("coords lie inside the space")); // N(3,1)
+        let q = Query::builder(&s).min("a1", 60).build().expect("well-formed query");
         let (qid, out) = a.begin_count_query(q, Vec::new(), 0);
         let Output::Send { to: first, msg: Message::Query(fwd) } = &out[0] else {
             panic!("{out:?}")
@@ -1305,7 +1522,7 @@ mod tests {
         // The downstream leaf B processes the forward, then a duplicated
         // copy of the same forward: the second answer is the cached
         // retransmission of the first, byte-identical.
-        let mut b = SelectionNode::new(*first, &s, s.point(&[70, 70]).unwrap(), ProtocolConfig::default());
+        let mut b = SelectionNode::new(*first, &s, s.point(&[70, 70]).expect("coords lie inside the space"), ProtocolConfig::default());
         let r1 = b.handle_message(1, Message::Query(fwd.clone()), 1);
         let r2 = b.handle_message(1, Message::Query(fwd.clone()), 2);
         let Output::Send { msg: Message::Reply(reply1), .. } = &r1[0] else { panic!("{r1:?}") };
@@ -1343,20 +1560,20 @@ mod tests {
     fn c0_relay_covers_the_cell_without_duplicate_deliveries() {
         use std::collections::VecDeque;
 
-        let s = Space::uniform(1, 80, 1).unwrap();
+        let s = Space::uniform(1, 80, 1).expect("valid 1-d space geometry");
         let run = |c0_relay: bool| -> (Vec<NodeId>, FastMap<NodeId, u32>, u64) {
             let cfg = ProtocolConfig { c0_relay, ..ProtocolConfig::default() };
             let mut nodes: FastMap<NodeId, SelectionNode> = (0..4)
                 .map(|id| {
-                    (id, SelectionNode::new(id, &s, s.point(&[id + 1]).unwrap(), cfg.clone()))
+                    (id, SelectionNode::new(id, &s, s.point(&[id + 1]).expect("coords lie inside the space"), cfg.clone()))
                 })
                 .collect();
             for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
                 let p = nodes[&b].point().clone();
-                nodes.get_mut(&a).unwrap().routing_mut().observe(b, p);
+                nodes.get_mut(&a).expect("node wired into the ring").routing_mut().observe(b, p);
             }
-            let q = Query::builder(&s).range("a0", 0, 39).build().unwrap();
-            let (_, outs) = nodes.get_mut(&0).unwrap().begin_query(q, None, 0);
+            let q = Query::builder(&s).range("a0", 0, 39).build().expect("well-formed query");
+            let (_, outs) = nodes.get_mut(&0).expect("node wired into the ring").begin_query(q, None, 0);
 
             let mut receipts: FastMap<NodeId, u32> = FastMap::default();
             let mut inbox: VecDeque<(NodeId, NodeId, Message)> = VecDeque::new();
@@ -1379,7 +1596,7 @@ mod tests {
                 if matches!(msg, Message::Query(_)) {
                     *receipts.entry(to).or_insert(0) += 1;
                 }
-                let outs = nodes.get_mut(&to).unwrap().handle_message(from, msg, now);
+                let outs = nodes.get_mut(&to).expect("node wired into the ring").handle_message(from, msg, now);
                 now += 1;
                 absorb(to, outs, &mut inbox, &mut completed);
             }

@@ -223,12 +223,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn space() -> Space {
-        Space::uniform(2, 80, 3).unwrap()
+        Space::uniform(2, 80, 3).expect("valid 2-d space geometry")
     }
 
     fn table_at(vals: [u64; 2]) -> RoutingTable {
         let s = space();
-        let own = s.cell_coord(&s.point(&vals).unwrap());
+        let own = s.cell_coord(&s.point(&vals).expect("coords lie inside the space"));
         RoutingTable::new(s, own)
     }
 
@@ -237,30 +237,30 @@ mod tests {
         // Own coord (1,1) in an 8×8 grid.
         let mut t = table_at([15, 15]);
         // Same C0 bucket.
-        t.observe(2, space().point(&[12, 11]).unwrap());
+        t.observe(2, space().point(&[12, 11]).expect("coords lie inside the space"));
         assert_eq!(t.zero_count(), 1);
         // Opposite half along dimension 0 → N(3,0).
-        t.observe(3, space().point(&[75, 15]).unwrap());
-        assert_eq!(t.neighbor(3, 0).unwrap().id, 3);
+        t.observe(3, space().point(&[75, 15]).expect("coords lie inside the space"));
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3);
         // Same C1, other bucket along dim 1 → N(1,1).
-        t.observe(4, space().point(&[15, 5]).unwrap());
-        assert_eq!(t.neighbor(1, 1).unwrap().id, 4);
+        t.observe(4, space().point(&[15, 5]).expect("coords lie inside the space"));
+        assert_eq!(t.neighbor(1, 1).expect("slot filled by observe").id, 4);
         assert_eq!(t.link_count(), 3);
     }
 
     #[test]
     fn observe_keeps_existing_slot_holder() {
         let mut t = table_at([15, 15]);
-        t.observe(3, space().point(&[75, 15]).unwrap());
-        t.observe(5, space().point(&[70, 10]).unwrap()); // same subcell N(3,0)
-        assert_eq!(t.neighbor(3, 0).unwrap().id, 3, "first link kept");
+        t.observe(3, space().point(&[75, 15]).expect("coords lie inside the space"));
+        t.observe(5, space().point(&[70, 10]).expect("coords lie inside the space")); // same subcell N(3,0)
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3, "first link kept");
     }
 
     #[test]
     fn remove_clears_everywhere() {
         let mut t = table_at([15, 15]);
-        t.observe(2, space().point(&[12, 11]).unwrap());
-        t.observe(3, space().point(&[75, 15]).unwrap());
+        t.observe(2, space().point(&[12, 11]).expect("coords lie inside the space"));
+        t.observe(3, space().point(&[75, 15]).expect("coords lie inside the space"));
         t.remove(2);
         t.remove(3);
         assert_eq!(t.link_count(), 0);
@@ -271,22 +271,22 @@ mod tests {
     fn rebuild_prefers_stability_and_fills_randomly() {
         let s = space();
         let mut t = table_at([15, 15]);
-        t.observe(3, s.point(&[75, 15]).unwrap());
+        t.observe(3, s.point(&[75, 15]).expect("coords lie inside the space"));
         let mut rng = StdRng::seed_from_u64(9);
         // Candidates: current holder 3 still present + extra in same subcell.
         t.rebuild(
             vec![
-                (3, s.point(&[75, 15]).unwrap()),
-                (5, s.point(&[70, 10]).unwrap()),
-                (6, s.point(&[12, 11]).unwrap()), // C0 mate
+                (3, s.point(&[75, 15]).expect("coords lie inside the space")),
+                (5, s.point(&[70, 10]).expect("coords lie inside the space")),
+                (6, s.point(&[12, 11]).expect("coords lie inside the space")), // C0 mate
             ],
             &mut rng,
         );
-        assert_eq!(t.neighbor(3, 0).unwrap().id, 3, "stability: holder kept");
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3, "stability: holder kept");
         assert_eq!(t.zero_count(), 1);
         // Holder vanishes from candidates → random replacement.
-        t.rebuild(vec![(5, s.point(&[70, 10]).unwrap())], &mut rng);
-        assert_eq!(t.neighbor(3, 0).unwrap().id, 5);
+        t.rebuild(vec![(5, s.point(&[70, 10]).expect("coords lie inside the space"))], &mut rng);
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 5);
         assert_eq!(t.zero_count(), 0, "zero set rebuilt from scratch");
     }
 
@@ -294,8 +294,8 @@ mod tests {
     fn filled_slots_reports_level_dim() {
         let s = space();
         let mut t = table_at([15, 15]);
-        t.observe(3, s.point(&[75, 15]).unwrap()); // N(3,0)
-        t.observe(4, s.point(&[15, 5]).unwrap()); // N(1,1)
+        t.observe(3, s.point(&[75, 15]).expect("coords lie inside the space")); // N(3,0)
+        t.observe(4, s.point(&[15, 5]).expect("coords lie inside the space")); // N(1,1)
         let mut got: Vec<(Level, usize, NodeId)> =
             t.filled_slots().map(|(l, k, e)| (l, k, e.id)).collect();
         got.sort_unstable();

@@ -1,8 +1,7 @@
-use std::collections::HashMap;
-
 use attrspace::{Level, Neighborhood};
 use epigossip::{Descriptor, Selector};
 
+use crate::fasthash::FastMap;
 use crate::NodeProfile;
 
 /// The [`Selector`] policy that drives the semantic gossip layer for
@@ -39,7 +38,7 @@ impl Selector<NodeProfile> for SlotSelector {
         capacity: usize,
     ) -> Vec<Descriptor<NodeProfile>> {
         let mut zero: Vec<Descriptor<NodeProfile>> = Vec::new();
-        let mut slots: HashMap<(Level, usize), Vec<Descriptor<NodeProfile>>> = HashMap::new();
+        let mut slots: FastMap<(Level, usize), Vec<Descriptor<NodeProfile>>> = FastMap::default();
         for d in candidates {
             match own.coord().classify(d.profile.coord()) {
                 Neighborhood::Zero => zero.push(d),
@@ -100,7 +99,7 @@ mod tests {
     use epigossip::NodeId;
 
     fn profile(space: &Space, vals: &[u64]) -> NodeProfile {
-        NodeProfile::new(space, space.point(vals).unwrap())
+        NodeProfile::new(space, space.point(vals).expect("coords lie inside the space"))
     }
 
     fn desc(id: NodeId, space: &Space, vals: &[u64], age: u32) -> Descriptor<NodeProfile> {
@@ -109,7 +108,7 @@ mod tests {
 
     #[test]
     fn zero_mates_have_top_priority() {
-        let s = Space::uniform(2, 80, 3).unwrap();
+        let s = Space::uniform(2, 80, 3).expect("valid 2-d space geometry");
         let own = profile(&s, &[5, 5]);
         let sel = SlotSelector { zero_cap: 4, per_slot: 1 };
         let mut cands = vec![
@@ -135,7 +134,7 @@ mod tests {
 
     #[test]
     fn broad_before_deep() {
-        let s = Space::uniform(2, 80, 3).unwrap();
+        let s = Space::uniform(2, 80, 3).expect("valid 2-d space geometry");
         let own = profile(&s, &[5, 5]);
         let sel = SlotSelector { zero_cap: 0, per_slot: 3 };
         let cands = vec![
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn zero_cap_bounds_c0_crowd() {
-        let s = Space::uniform(2, 80, 3).unwrap();
+        let s = Space::uniform(2, 80, 3).expect("valid 2-d space geometry");
         let own = profile(&s, &[5, 5]);
         let sel = SlotSelector { zero_cap: 2, per_slot: 1 };
         let cands: Vec<_> = (0..6).map(|i| desc(i, &s, &[5 + i % 5, 5], i as u32)).collect();

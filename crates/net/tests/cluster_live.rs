@@ -24,6 +24,9 @@ fn wait_until(mut pred: impl FnMut() -> bool, deadline: Duration) -> bool {
         if start.elapsed() >= deadline {
             return false;
         }
+        // This IS the polling helper the rule points everyone at;
+        // the sleep is bounded by the caller's deadline.
+        // lint:allow(thread-sleep-in-tests)
         std::thread::sleep(Duration::from_millis(50));
     }
 }
@@ -120,6 +123,9 @@ fn sigma_queries_return_promptly_on_live_cluster() {
                 break;
             }
         }
+        // Live-runtime retry loop: the cluster runs on real sockets,
+        // so backing off between σ retries needs real time; bounded
+        // by the tries counter. lint:allow(thread-sleep-in-tests)
         std::thread::sleep(Duration::from_millis(100));
     }
     let outcome = outcome.expect("σ query completes");

@@ -6,7 +6,9 @@
 //! same overhead/delivery metrics as [`QueryStats`](crate::QueryStats), so a
 //! bench can put all three approaches side by side.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use autosel_core::fasthash::FastSet;
 
 use attrspace::{CellCoord, Point, Query, Space};
 use rand::rngs::StdRng;
@@ -51,7 +53,7 @@ pub fn flood_search(
     let mut rng = StdRng::seed_from_u64(seed);
     let links: Vec<Vec<usize>> = (0..n)
         .map(|i| {
-            let mut out = HashSet::new();
+            let mut out = FastSet::default();
             while out.len() < fanout.min(n.saturating_sub(1)) {
                 let j = rng.gen_range(0..n);
                 if j != i {
@@ -111,7 +113,7 @@ pub fn greedy_coordinate_search(
 
     // Per-dimension value order: predecessor/successor links.
     let d = space.dims();
-    let mut links: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut links: Vec<FastSet<usize>> = vec![FastSet::default(); n];
     for dim in 0..d {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (points[i].values()[dim], i));

@@ -14,11 +14,37 @@ use epigossip::{GossipStack, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::event::{EventKind, Payload, ScheduledEvent};
+use autosel_core::fasthash::Fnv64;
+
+use crate::event::{EventKey, EventKind, Payload, QueuedEvent, ScheduledEvent};
 use crate::faults::{FaultPlan, NodeEventKind};
 use crate::invariants::{InvariantChecker, InvariantViolation};
 use crate::metrics::LoadHistogram;
 use crate::{Placement, QueryStats, SimConfig};
+
+/// A pluggable dispatch policy for [`SimCluster::run_to_quiescence_with`]:
+/// given the queued events (ascending `(at, seq)`), pick the handle to
+/// dispatch next, or `None` to stop. The default simulator order is
+/// [`EarliestFirst`]; the `autosel-analyze` explorer substitutes recorded
+/// or enumerated schedules.
+pub trait Scheduler {
+    /// Chooses the `seq` handle of the next event to dispatch. `queued` is
+    /// non-empty.
+    fn next(&mut self, queued: &[QueuedEvent]) -> Option<u64>;
+}
+
+/// The simulator's native policy: earliest firing time, FIFO on ties —
+/// exactly what the event heap's fixed tie-break does, so a run driven by
+/// this scheduler reproduces [`SimCluster::run_to_quiescence`] event for
+/// event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EarliestFirst;
+
+impl Scheduler for EarliestFirst {
+    fn next(&mut self, queued: &[QueuedEvent]) -> Option<u64> {
+        queued.first().map(|e| e.seq)
+    }
+}
 
 struct SimNode {
     selection: SelectionNode,
@@ -667,6 +693,177 @@ impl SimCluster {
         checker.check_step(self)
     }
 
+    // ------------------------------------------------------------------
+    // Exploration API: external control over the event queue.
+    //
+    // `dispatch` already tolerates *any* dispatch order — it advances the
+    // clock with `now = now.max(ev.at)`, so dispatching a later-scheduled
+    // event first simply models an adversarially slow network for the
+    // others. These hooks expose that freedom to external schedulers and
+    // to the `autosel-analyze` model checker without touching the default
+    // BinaryHeap hot path (whose digests are pinned).
+    // ------------------------------------------------------------------
+
+    /// Snapshot of every queued event, ascending `(at, seq)`: index 0 is
+    /// what [`run_to_quiescence`](Self::run_to_quiescence) would dispatch
+    /// next. `seq` handles are only valid until the queue next changes;
+    /// [`EventKey`]s are stable across re-executions of the same scenario.
+    pub fn queued_events(&self) -> Vec<QueuedEvent> {
+        let mut out: Vec<QueuedEvent> = self
+            .queue
+            .iter()
+            .map(|ev| QueuedEvent { at: ev.at, seq: ev.seq, key: EventKey::of(ev) })
+            .collect();
+        out.sort_unstable_by_key(|e| (e.at, e.seq));
+        out
+    }
+
+    /// Removes the event with handle `seq` from the queue (O(queue) — the
+    /// exploration scenarios this serves are a handful of nodes).
+    fn take_queued(&mut self, seq: u64) -> Option<ScheduledEvent> {
+        if !self.queue.iter().any(|e| e.seq == seq) {
+            return None;
+        }
+        let mut events = std::mem::take(&mut self.queue).into_vec();
+        let i = events.iter().position(|e| e.seq == seq).expect("checked present");
+        let ev = events.swap_remove(i);
+        self.queue = BinaryHeap::from(events);
+        Some(ev)
+    }
+
+    /// Dispatches the queued event with handle `seq` *now*, regardless of
+    /// its position in the default order. Returns `false` if no queued
+    /// event has that handle. Virtual time never rewinds: a dispatched
+    /// event fires at `max(now, its scheduled time)`.
+    pub fn dispatch_queued(&mut self, seq: u64) -> bool {
+        let Some(ev) = self.take_queued(seq) else { return false };
+        self.now = self.now.max(ev.at);
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// Silently discards the queued event with handle `seq` — a targeted
+    /// message loss (choice-point form of the fault plan's random drop).
+    /// Returns whether anything was removed.
+    pub fn drop_queued(&mut self, seq: u64) -> bool {
+        self.take_queued(seq).is_some()
+    }
+
+    /// Enqueues a second copy of the event with handle `seq` at the same
+    /// firing time — a targeted duplication. Returns the copy's handle,
+    /// or `None` if `seq` is not queued. The copy shares the original's
+    /// [`EventKey`].
+    pub fn duplicate_queued(&mut self, seq: u64) -> Option<u64> {
+        let (at, kind) = {
+            let ev = self.queue.iter().find(|e| e.seq == seq)?;
+            (ev.at, ev.kind.clone())
+        };
+        self.seq += 1;
+        let copy = self.seq;
+        self.queue.push(ScheduledEvent { at, seq: copy, kind });
+        Some(copy)
+    }
+
+    /// FNV-1a digest of everything that determines the cluster's future
+    /// behaviour *and* its invariant verdicts: virtual time, every node's
+    /// [`SelectionNode::state_fingerprint`], the queue's logical contents,
+    /// and all tracked query accounting. Two states with equal hashes
+    /// behave identically under identical further choices — the pruning
+    /// predicate of the `autosel-analyze` explorer.
+    ///
+    /// Deliberately excluded: raw `seq` numbers (schedule-dependent names
+    /// for the same logical events) and the RNG (exploration scenarios —
+    /// constant latency, no fault plan, no gossip — draw nothing from it
+    /// after setup; anything else would make equal hashes meaningless).
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv64::new();
+        h.word(self.now);
+        h.word(self.sorted_ids.len() as u64);
+        for &id in &self.sorted_ids {
+            let n = &self.nodes[&id];
+            h.word(id);
+            h.word(n.selection.state_fingerprint());
+            h.word(n.next_poll);
+        }
+        let mut crashed: Vec<NodeId> = self.crashed.keys().copied().collect();
+        crashed.sort_unstable();
+        h.word(crashed.len() as u64);
+        for id in crashed {
+            h.word(id);
+        }
+        let mut queued: Vec<(u64, EventKey)> =
+            self.queue.iter().map(|e| (e.at, EventKey::of(e))).collect();
+        queued.sort_unstable();
+        h.word(queued.len() as u64);
+        for (at, key) in queued {
+            h.word(at);
+            let mut kh = autosel_core::fasthash::FastHasher::default();
+            key.hash(&mut kh);
+            h.word(kh.finish());
+        }
+        let mut qids: Vec<QueryId> = self.queries.keys().copied().collect();
+        qids.sort_unstable();
+        h.word(qids.len() as u64);
+        for qid in qids {
+            let st = &self.queries[&qid];
+            h.word(qid.origin);
+            h.word(u64::from(qid.seq));
+            h.word(st.issued_at);
+            h.word(u64::from(st.truth));
+            h.word(st.sigma.map_or(u64::MAX, u64::from));
+            h.word(st.overhead);
+            h.word(st.duplicates);
+            h.word(st.messages);
+            h.word(u64::from(st.completed));
+            h.word(st.completed_at.map_or(u64::MAX, |t| t));
+            h.word(u64::from(st.reported));
+            for set in [&st.matched_reached, &st.receivers] {
+                let mut ids: Vec<NodeId> = set.iter().copied().collect();
+                ids.sort_unstable();
+                h.word(ids.len() as u64);
+                for id in ids {
+                    h.word(id);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Runs to quiescence with `scheduler` picking every dispatch (the
+    /// pluggable replacement for the heap's fixed `(at, seq)` tie-break).
+    /// Stops when the queue drains or the scheduler returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gossip is enabled (see
+    /// [`run_to_quiescence`](Self::run_to_quiescence)), or if the
+    /// scheduler returns a handle that is not queued.
+    pub fn run_to_quiescence_with<S: Scheduler>(&mut self, scheduler: &mut S) {
+        assert!(
+            !self.config.gossip_enabled,
+            "gossip keeps the queue non-empty; use run_until"
+        );
+        loop {
+            let queued = self.queued_events();
+            if queued.is_empty() {
+                break;
+            }
+            let Some(seq) = scheduler.next(&queued) else { break };
+            assert!(self.dispatch_queued(seq), "scheduler returned unknown handle {seq}");
+        }
+    }
+
+    /// Direct mutable access to one node's protocol state machine.
+    ///
+    /// Test-harness plumbing (mutation hooks, hand-crafted state setups) —
+    /// not part of the simulation API proper; the simulator owns these
+    /// nodes and production drivers must go through messages.
+    #[doc(hidden)]
+    pub fn selection_mut(&mut self, id: NodeId) -> Option<&mut SelectionNode> {
+        self.nodes.get_mut(&id).map(|n| &mut n.selection)
+    }
+
     fn schedule(&mut self, at: u64, kind: EventKind) {
         self.seq += 1;
         self.queue.push(ScheduledEvent { at, seq: self.seq, kind });
@@ -961,6 +1158,84 @@ mod tests {
         assert_eq!(st.reported, full, "count mode agrees with enumeration");
         assert!(sim.query_result(count).unwrap().is_empty(), "no match lists");
         assert_eq!(st.duplicates, 0);
+    }
+
+    /// A 3-node oracle-wired line with one in-flight query, for the
+    /// exploration-API tests.
+    fn explore_fixture() -> (SimCluster, QueryId) {
+        let s = Space::uniform(2, 80, 3).unwrap();
+        let mut sim = SimCluster::new(s.clone(), SimConfig::fast_static(), 7);
+        for vals in [[5u64, 5], [70, 5], [70, 70]] {
+            sim.add_node(s.point(&vals).unwrap());
+        }
+        sim.wire_oracle();
+        let q = Query::builder(&s).min("a0", 60).build().unwrap();
+        let qid = sim.issue_query(0, q, None);
+        (sim, qid)
+    }
+
+    #[test]
+    fn earliest_first_scheduler_reproduces_default_run() {
+        let (mut a, qa) = explore_fixture();
+        let (mut b, qb) = explore_fixture();
+        a.run_to_quiescence();
+        b.run_to_quiescence_with(&mut EarliestFirst);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(
+            a.query_stats(qa).unwrap().fingerprint(),
+            b.query_stats(qb).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn queued_events_expose_stable_keys_and_handles() {
+        let (sim, qid) = explore_fixture();
+        let queued = sim.queued_events();
+        assert!(!queued.is_empty());
+        // The one interesting event: A's QUERY in flight to B.
+        let deliver = queued.iter().find(|e| e.key.is_deliver()).expect("query in flight");
+        assert_eq!(
+            deliver.key,
+            crate::EventKey::Deliver { from: 0, to: 1, query: Some(qid), reply: false, attempt: 1 }
+        );
+        assert_eq!(deliver.key.target(), 1);
+        // Re-executing the same scenario yields the same keys even though
+        // seq handles are an implementation detail.
+        let (again, _) = explore_fixture();
+        let keys: Vec<_> = sim.queued_events().iter().map(|e| e.key).collect();
+        let keys2: Vec<_> = again.queued_events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, keys2);
+    }
+
+    #[test]
+    fn dispatch_drop_duplicate_surgery() {
+        let (mut sim, qid) = explore_fixture();
+        let deliver =
+            *sim.queued_events().iter().find(|e| e.key.is_deliver()).expect("query in flight");
+        // Unknown handles are refused.
+        assert!(!sim.dispatch_queued(u64::MAX));
+        assert!(sim.duplicate_queued(u64::MAX).is_none());
+        // Duplicate: the copy shares the key, and dropping the original
+        // still leaves the copy deliverable.
+        let copy = sim.duplicate_queued(deliver.seq).expect("queued");
+        assert_ne!(copy, deliver.seq);
+        assert!(sim.drop_queued(deliver.seq));
+        assert!(!sim.drop_queued(deliver.seq), "already removed");
+        assert!(sim.dispatch_queued(copy));
+        sim.run_to_quiescence();
+        let st = sim.query_stats(qid).unwrap();
+        assert!(st.completed, "query survives drop of a duplicated delivery");
+    }
+
+    #[test]
+    fn state_hash_tracks_logical_state_not_history() {
+        let (sim, _) = explore_fixture();
+        let (other, _) = explore_fixture();
+        assert_eq!(sim.state_hash(), other.state_hash(), "identical builds hash equal");
+        let mut done = explore_fixture().0;
+        done.run_to_quiescence();
+        assert_ne!(sim.state_hash(), done.state_hash(), "progress changes the hash");
     }
 
     #[test]

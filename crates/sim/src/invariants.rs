@@ -36,8 +36,7 @@
 //! or call [`SimCluster::check_invariants`](crate::SimCluster::check_invariants)
 //! at hand-picked instants.
 
-use std::collections::{HashMap, HashSet};
-
+use autosel_core::fasthash::{FastMap, FastSet};
 use autosel_core::QueryId;
 use epigossip::NodeId;
 
@@ -289,7 +288,7 @@ impl InvariantChecker {
     /// loop. (Each node has at most one upstream per query, so a cycle is
     /// detectable by following the chain with a visited set.)
     fn check_reply_acyclicity(&self, cluster: &SimCluster) -> Result<(), InvariantViolation> {
-        let mut upstream: HashMap<QueryId, HashMap<NodeId, Option<NodeId>>> = HashMap::new();
+        let mut upstream: FastMap<QueryId, FastMap<NodeId, Option<NodeId>>> = FastMap::default();
         for (id, node) in cluster.selections_iter() {
             for (qid, up) in node.pending_upstreams() {
                 upstream.entry(qid).or_default().insert(*id, up);
@@ -297,7 +296,7 @@ impl InvariantChecker {
         }
         for (qid, edges) in &upstream {
             for &start in edges.keys() {
-                let mut seen: HashSet<NodeId> = HashSet::new();
+                let mut seen: FastSet<NodeId> = FastSet::default();
                 let mut cur = start;
                 seen.insert(cur);
                 while let Some(&Some(next)) = edges.get(&cur) {

@@ -22,7 +22,12 @@
 //!   leaked per-query state, monotone time, acyclic reply routing) after
 //!   every event and at quiescence;
 //! * [`QueryStats`] — per-query routing overhead, delivery, duplicate count
-//!   and message totals: exactly the metrics the paper's figures plot.
+//!   and message totals: exactly the metrics the paper's figures plot;
+//! * an exploration surface for external model checkers
+//!   ([`SimCluster::queued_events`] exposing stable [`EventKey`]s,
+//!   per-event dispatch / drop / duplicate surgery, [`Scheduler`]-driven
+//!   runs, and a logical [`SimCluster::state_hash`]) — `autosel-analyze`
+//!   builds its DPOR interleaving explorer on it.
 //!
 //! Determinism: a cluster seeded with the same seed replays identically.
 //!
@@ -62,8 +67,9 @@ pub mod invariants;
 pub mod viz;
 pub mod workload;
 
-pub use cluster::{GossipHealth, SimCluster};
+pub use cluster::{EarliestFirst, GossipHealth, Scheduler, SimCluster};
 pub use config::SimConfig;
+pub use event::{EventKey, QueuedEvent};
 pub use faults::FaultPlan;
 pub use invariants::{InvariantChecker, InvariantViolation};
 pub use metrics::{LoadHistogram, QueryStats};
