@@ -2,7 +2,8 @@
 //!
 //! The fault-matrix tests sample schedules; this module *enumerates* them.
 //! A [`Scenario`] pins a bounded cluster (≤ 5 nodes, 1–2 queries, optional
-//! duplicate / drop / timeout-race choice points) and the [`Explorer`]
+//! duplicate / drop / timeout-race / crash-restart choice points) and the
+//! [`Explorer`]
 //! drives a fresh [`SimCluster`] through every inequivalent ordering of its
 //! message deliveries, running the [`InvariantChecker`] after each step and
 //! at quiescence of every schedule.
@@ -48,7 +49,7 @@ use autosel_core::fasthash::{FastSet, Fnv64};
 use autosel_core::QueryId;
 use epigossip::NodeId;
 use overlay_sim::{
-    EventKey, InvariantChecker, InvariantViolation, QueuedEvent, SimCluster, SimConfig,
+    EventKey, FaultPlan, InvariantChecker, InvariantViolation, QueuedEvent, SimCluster, SimConfig,
 };
 
 /// What to do with the chosen event.
@@ -101,6 +102,7 @@ pub struct Scenario {
     duplicates: usize,
     drops: usize,
     timeout_races: bool,
+    churn: Vec<(NodeId, u64, u64)>,
     buggy: Vec<NodeId>,
 }
 
@@ -118,6 +120,7 @@ impl Scenario {
             duplicates: 0,
             drops: 0,
             timeout_races: false,
+            churn: Vec::new(),
             buggy: Vec::new(),
         }
     }
@@ -166,6 +169,29 @@ impl Scenario {
         self.timeout_races = true;
     }
 
+    /// Schedules `node` to crash at `crash_at_ms` and restart at
+    /// `restart_at_ms`, and — the point — makes both fault events *choice
+    /// points*: the explorer reorders them freely against queued
+    /// deliveries, covering crash-just-before-receive, crash-mid-subtree,
+    /// restart-overtaking-crash (a legitimate no-op: the restart of an
+    /// alive node does nothing), and every other interleaving. Weakens the
+    /// checker to plain relaxed — a crash legitimately loses pending
+    /// protocol state, and a restarted node comes back with an empty dedup
+    /// cache, so duplicate receipts become possible by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_at_ms < crash_at_ms` (the *scheduled* order is
+    /// crash-then-restart; the explorer's reorderings come from dispatch
+    /// order, not from nonsensical timestamps).
+    pub fn crash_restart(&mut self, node: NodeId, crash_at_ms: u64, restart_at_ms: u64) {
+        assert!(
+            restart_at_ms >= crash_at_ms,
+            "restart must not be scheduled before its crash"
+        );
+        self.churn.push((node, crash_at_ms, restart_at_ms));
+    }
+
     /// Re-injects the historical dedup-reply bug (pre-reply-cache: *every*
     /// duplicate QUERY is answered with an empty REPLY, even mid-flight)
     /// into `node` — the mutation the smoke test proves the explorer
@@ -176,10 +202,10 @@ impl Scenario {
 
     /// The invariant checker this scenario has earned: strict when no
     /// adversarial choice points are enabled, relaxed + exact-reporting
-    /// when only duplication is, plain relaxed once losses or timeout
-    /// races are possible.
+    /// when only duplication is, plain relaxed once losses, timeout
+    /// races, or churn are possible.
     pub fn checker(&self) -> InvariantChecker {
-        if self.drops > 0 || self.timeout_races {
+        if self.drops > 0 || self.timeout_races || !self.churn.is_empty() {
             InvariantChecker::relaxed()
         } else if self.duplicates > 0 {
             InvariantChecker::relaxed().expect_exact_reporting()
@@ -202,6 +228,13 @@ impl Scenario {
             sim.selection_mut(id)
                 .expect("buggy node exists")
                 .inject_empty_dedup_reply_bug();
+        }
+        if !self.churn.is_empty() {
+            let mut plan = FaultPlan::new();
+            for &(node, crash_at, restart_at) in &self.churn {
+                plan = plan.crash(crash_at, node).restart(restart_at, node);
+            }
+            sim.set_fault_plan(plan);
         }
         let qids = self
             .queries
@@ -240,7 +273,8 @@ impl<'a> Executor<'a> {
     /// The *interesting* queued events — those the explorer may reorder —
     /// deduplicated by key (lowest `(at, seq)` copy kept), in deterministic
     /// `(at, seq)` order. Deliveries always; timeout polls only when the
-    /// scenario races them.
+    /// scenario races them; crash/restart fault events only when the
+    /// scenario schedules churn.
     fn interesting(&self) -> Vec<QueuedEvent> {
         let mut seen: BTreeSet<EventKey> = BTreeSet::new();
         self.sim
@@ -249,7 +283,9 @@ impl<'a> Executor<'a> {
             .filter(|e| {
                 let relevant = e.key.is_deliver()
                     || (self.scenario.timeout_races
-                        && matches!(e.key, EventKey::PollTimeouts { .. }));
+                        && matches!(e.key, EventKey::PollTimeouts { .. }))
+                    || (!self.scenario.churn.is_empty()
+                        && matches!(e.key, EventKey::NodeFault { .. }));
                 relevant && seen.insert(e.key)
             })
             .collect()

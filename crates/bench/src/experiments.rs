@@ -9,6 +9,7 @@ use overlay_sim::workload::{best_case_query, worst_case_query};
 use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use synthtrace::scenario::{ScenarioSpec, SoakRunner};
 use synthtrace::{fit_space, HostGenerator};
 
 /// Default query selectivity (Table 1).
@@ -474,31 +475,23 @@ pub fn fig12(n: usize, fraction: f64, horizon_s: u64, seed: u64) -> Vec<(u64, f6
 /// Returns `(time s, delivery)` probes. (The live threaded rendition is in
 /// `fig13_planetlab.rs`, which drives `autosel-net`.)
 pub fn fig13_sim(n: usize, waves: usize, wave_interval_s: u64, seed: u64) -> Vec<(u64, f64)> {
-    let space = Space::uniform(5, 80, 3).expect("space");
-    let placement = Placement::Uniform { lo: 0, hi: 80 };
-    let mut sim = SimCluster::new(space.clone(), dynamic_config(), seed);
-    sim.populate(&placement, n);
-    sim.run_until(250_000);
-    let t0 = sim.now();
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    let mut t = 0u64;
-    for _ in 0..waves {
-        sim.kill_fraction(0.10);
-        let wave_end = t + wave_interval_s * 1000;
-        while t < wave_end {
-            let q = best_case_query(&space, DEFAULT_F, &mut rng);
-            let origin = sim.random_node();
-            let qid = sim.issue_query(origin, q, None);
-            sim.run_until(t0 + t + 120_000);
-            let st = sim.query_stats(qid).expect("stats");
-            crate::stats_json::record(st);
-            out.push((t / 1000, st.delivery()));
-            sim.forget_query(qid);
-            t += 120_000;
-            sim.run_until(t0 + t);
-        }
-    }
-    out
+    // Expressed on the scenario DSL: repeated 10% decimation waves with
+    // one probe per 120 s, measured 120 s after issue, invariant checker
+    // armed for the whole arc (relaxed: kills legitimately orphan state).
+    let horizon_ms = waves as u64 * wave_interval_s * 1000;
+    let spec = ScenarioSpec::new(n as u32, horizon_ms)
+        .probe_every_ms(120_000)
+        .decimation(waves as u32, wave_interval_s * 1000, 100);
+    let mut runner = SoakRunner::new(&spec, seed);
+    let warmup = runner.compiled().warmup_ms;
+    runner
+        .run_with(horizon_ms, crate::stats_json::record)
+        .expect("fig13 scenario violated an invariant");
+    runner
+        .probes()
+        .iter()
+        .map(|&(at_ms, delivery_x1000)| {
+            ((at_ms - warmup) / 1000, delivery_x1000 as f64 / 1000.0)
+        })
+        .collect()
 }

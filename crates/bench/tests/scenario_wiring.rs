@@ -1,0 +1,24 @@
+//! The Fig. 13 decimation experiment is expressed on the scenario DSL;
+//! these tests pin the wiring: probe cadence, time base, and same-seed
+//! reproducibility of the full (scenario-compiled) run.
+
+use bench::experiments::fig13_sim;
+
+#[test]
+fn fig13_probe_grid_is_one_per_120s_from_zero() {
+    let rows = fig13_sim(80, 2, 240, 7);
+    let times: Vec<u64> = rows.iter().map(|&(t, _)| t).collect();
+    assert_eq!(times, vec![0, 120, 240, 360]);
+    for &(_, d) in &rows {
+        assert!((0.0..=1.0).contains(&d), "delivery out of range: {d}");
+    }
+}
+
+#[test]
+fn fig13_is_deterministic_per_seed() {
+    let a = fig13_sim(80, 2, 240, 11);
+    let b = fig13_sim(80, 2, 240, 11);
+    assert_eq!(a, b);
+    let c = fig13_sim(80, 2, 240, 12);
+    assert_ne!(a, c, "different seeds should not collide exactly");
+}

@@ -575,6 +575,13 @@ impl SimCluster {
         self.nodes.values().map(|n| n.selection.timeouts_fired()).sum()
     }
 
+    /// Number of events currently queued — a cheap backlog gauge for
+    /// fixed-interval timeline sampling (soak harness); a runaway reading
+    /// means deliveries are being scheduled faster than they drain.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Ids of all tracked (issued and not forgotten) queries, ascending.
     pub fn tracked_queries(&self) -> Vec<QueryId> {
         let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
@@ -878,7 +885,7 @@ impl SimCluster {
                 stats.messages += 1;
             }
         }
-        let Some(base) = self.config.latency.sample(&mut self.rng) else {
+        let Some(base) = self.config.latency.sample_link(from, to, &mut self.rng) else {
             return; // lost by the latency model
         };
         let protocol = matches!(payload, Payload::Protocol(_));

@@ -1,3 +1,4 @@
+use epigossip::NodeId;
 use rand::Rng;
 
 /// Per-message network behaviour.
@@ -25,6 +26,18 @@ pub enum LatencyModel {
         /// Probability in `[0,1]` that a message is silently dropped.
         loss: f64,
     },
+    /// Heterogeneous per-region latency: node → region by `id % regions`,
+    /// delay uniform in the `(lo, hi)` range at `matrix[from_region *
+    /// regions + to_region]`. Models rack/region topology (the scenario
+    /// engine's latency-matrix combinator compiles to this). Delays are
+    /// sampled per *link* via [`Self::sample_link`]; the link-blind
+    /// [`Self::sample`] falls back to the `(0, 0)` intra-region range.
+    Regions {
+        /// Number of regions (≥ 1).
+        regions: u64,
+        /// Flattened `regions × regions` rows of `(lo_ms, hi_ms)`.
+        matrix: Vec<(u64, u64)>,
+    },
 }
 
 impl LatencyModel {
@@ -40,6 +53,31 @@ impl LatencyModel {
                     Some(rng.gen_range(lo_ms..=hi_ms))
                 }
             }
+            LatencyModel::Regions { ref matrix, .. } => {
+                let (lo, hi) = matrix[0];
+                Some(if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+            }
+        }
+    }
+
+    /// Samples the delay for one directed link. For every link-blind model
+    /// this is *exactly* [`Self::sample`] — same RNG draws, so installing
+    /// the link-aware delivery path changed no pinned digest. Only
+    /// [`LatencyModel::Regions`] reads the endpoints.
+    pub fn sample_link<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut R,
+    ) -> Option<u64> {
+        match *self {
+            LatencyModel::Regions { regions, ref matrix } => {
+                let r = regions.max(1);
+                let cell = ((from % r) * r + (to % r)) as usize;
+                let (lo, hi) = matrix.get(cell).copied().unwrap_or((0, 0));
+                Some(if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+            }
+            _ => self.sample(rng),
         }
     }
 
@@ -83,5 +121,40 @@ mod tests {
     #[test]
     fn constant_is_fixed() {
         assert_eq!(LatencyModel::Constant { ms: 7 }.sample_fixed(), 7);
+    }
+
+    #[test]
+    fn sample_link_matches_sample_for_link_blind_models() {
+        // Same seed, same draws: the link-aware path must not perturb the
+        // RNG stream of any pre-existing model (pinned digests rely on it).
+        for model in [
+            LatencyModel::Constant { ms: 3 },
+            LatencyModel::Uniform { lo_ms: 2, hi_ms: 40 },
+            LatencyModel::Lossy { lo_ms: 2, hi_ms: 40, loss: 0.3 },
+        ] {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for i in 0..200u64 {
+                assert_eq!(model.sample(&mut a), model.sample_link(i, i + 1, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn regions_reads_the_directed_matrix_cell() {
+        // 2 regions: intra fast and fixed, inter slow and jittered.
+        let m = LatencyModel::Regions {
+            regions: 2,
+            matrix: vec![(1, 1), (80, 120), (80, 120), (2, 2)],
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_link(0, 2, &mut rng), Some(1), "region 0 → 0");
+        assert_eq!(m.sample_link(1, 3, &mut rng), Some(2), "region 1 → 1");
+        for _ in 0..100 {
+            let d = m.sample_link(0, 1, &mut rng).unwrap();
+            assert!((80..=120).contains(&d), "inter-region delay {d}");
+        }
+        // Link-blind fallback uses the (0,0) cell.
+        assert_eq!(m.sample(&mut rng), Some(1));
     }
 }

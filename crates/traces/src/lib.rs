@@ -15,7 +15,11 @@
 //! * [`fit_space`] — builds an [`attrspace::Space`] whose per-dimension
 //!   bucket boundaries are *quantiles* of an observed sample, exercising the
 //!   paper's non-uniform cell boundaries (§4.1) exactly as a deployment
-//!   facing skewed data would.
+//!   facing skewed data would;
+//! * [`scenario`] — a seeded, composable scenario DSL (session churn,
+//!   flash crowds, diurnal load, correlated region failures, per-region
+//!   latency matrices) compiled onto the simulator's fault/workload
+//!   surfaces, plus the long-horizon [`scenario::SoakRunner`].
 //!
 //! What matters for reproducing Fig. 9(b) is only the *skew* of the
 //! marginals: SWORD-style DHT mappings concentrate popular attribute values
@@ -37,6 +41,7 @@
 
 mod boinc;
 mod distributions;
+pub mod scenario;
 pub mod sessions;
 mod space;
 

@@ -104,5 +104,6 @@ pub mod prelude {
     pub use autosel_net::{NetCluster, NetConfig, Transport};
     pub use epigossip::{GossipConfig, GossipStack, NodeId};
     pub use overlay_sim::{LatencyModel, Placement, QueryStats, SimCluster, SimConfig};
+    pub use synthtrace::scenario::{ScenarioSpec, SoakRunner};
     pub use synthtrace::{fit_space, HostGenerator};
 }
