@@ -6,6 +6,7 @@
 //! | rule | scope | rationale |
 //! |------|-------|-----------|
 //! | `std-collections` | `crates/core/src`, `crates/sim/src`, non-test | `std` maps are SipHash-seeded per instance, so iteration order varies run to run; hot paths must use the seedless `fasthash` aliases (or `BTreeMap`) to keep the simulator bit-deterministic |
+//! | `binary-heap` | `crates/core/src`, `crates/sim/src`, non-test | the event hot path moved from `BinaryHeap` to the calendar queue (`sim/src/calendar.rs`) for O(1) scheduling at million-node scale; a heap reappearing there is a perf regression, and its unspecified equal-key order invites determinism bugs — reference-model uses in test code are exempt |
 //! | `wall-clock` | everywhere except `crates/net` | the protocol and simulator run on *virtual* milliseconds; a stray `SystemTime` / `Instant::now` smuggles real time into reproducible runs |
 //! | `thread-sleep-in-tests` | test code | sleeping makes tests flaky-slow; poll with the `wait_until` helper instead |
 //! | `unwrap-in-protocol` | `core/src/node.rs`, `core/src/routing.rs` | these files define the protocol invariants — every panic site must state the invariant it relies on (`expect`), tests included, since test panics are how invariant breakage first surfaces |
@@ -30,6 +31,8 @@ use std::path::{Path, PathBuf};
 pub enum Rule {
     /// `std::collections::HashMap`/`HashSet` in core/sim hot paths.
     StdCollections,
+    /// `std::collections::BinaryHeap` in core/sim hot paths.
+    BinaryHeap,
     /// `SystemTime` / `Instant::now` outside `crates/net`.
     WallClock,
     /// `thread::sleep` in test code.
@@ -42,8 +45,9 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::StdCollections,
+        Rule::BinaryHeap,
         Rule::WallClock,
         Rule::ThreadSleepInTests,
         Rule::UnwrapInProtocol,
@@ -54,6 +58,7 @@ impl Rule {
     pub fn name(self) -> &'static str {
         match self {
             Rule::StdCollections => "std-collections",
+            Rule::BinaryHeap => "binary-heap",
             Rule::WallClock => "wall-clock",
             Rule::ThreadSleepInTests => "thread-sleep-in-tests",
             Rule::UnwrapInProtocol => "unwrap-in-protocol",
@@ -396,6 +401,9 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         {
             push(Rule::StdCollections, line, &scanned);
         }
+        if in_core_or_sim && !in_test && has_token(code_line, "BinaryHeap") {
+            push(Rule::BinaryHeap, line, &scanned);
+        }
         if !in_net && (has_token(code_line, "SystemTime") || code_line.contains("Instant::now")) {
             push(Rule::WallClock, line, &scanned);
         }
@@ -488,6 +496,26 @@ mod tests {
         // …and fine inside a test module.
         let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
         assert!(rules_hit("crates/sim/src/whatever.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn binary_heap_flagged_in_core_hot_path() {
+        let src = "use std::collections::BinaryHeap;\nfn f() { let h: BinaryHeap<u64> = BinaryHeap::new(); }\n";
+        assert!(
+            rules_hit("crates/sim/src/cluster.rs", src).contains(&Rule::BinaryHeap),
+            "positive match required"
+        );
+        assert!(rules_hit("crates/core/src/whatever.rs", src).contains(&Rule::BinaryHeap));
+        // Fine outside core/sim (net's delay line legitimately uses one)…
+        assert!(rules_hit("crates/net/src/transport.rs", src).is_empty());
+        // …fine as a reference model in test code…
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::BinaryHeap;\n}\n";
+        assert!(rules_hit("crates/sim/src/event.rs", test_src).is_empty());
+        assert!(rules_hit("crates/sim/tests/equiv.rs", src).is_empty());
+        // …and suppressible with a reasoned pragma.
+        let allowed =
+            "// lint:allow(binary-heap) — cold path, profiled 2026-08\nuse std::collections::BinaryHeap;\n";
+        assert!(rules_hit("crates/sim/src/x.rs", allowed).is_empty());
     }
 
     #[test]

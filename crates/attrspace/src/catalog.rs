@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use crate::{RawValue, SpaceError};
 
 /// A stable mapping between symbolic attribute values and the natural
@@ -25,13 +23,34 @@ use crate::{RawValue, SpaceError};
 /// assert_eq!(os.symbol(os.code("linux-2.6.20").unwrap()), Some("linux-2.6.20"));
 /// # Ok::<(), attrspace::SpaceError>(())
 /// ```
+/// Symbols are interned into one shared byte arena instead of one `String`
+/// allocation apiece (plus a `HashMap<String, RawValue>` duplicating every
+/// key): a catalog of *n* symbols is exactly one growing buffer, a span
+/// table, and a sorted permutation for symbol→code lookup by binary
+/// search. Per-instance cost matters because profiles can carry catalogs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValueCatalog {
-    codes: HashMap<String, RawValue>,
-    symbols: Vec<String>,
+    /// Every symbol's bytes, concatenated in registration (= code) order.
+    arena: String,
+    /// `(offset, len)` span of each code's symbol in `arena`.
+    spans: Vec<(u32, u32)>,
+    /// Codes permuted so their symbols are lexicographically ascending —
+    /// the "index" side of the old hash map, at 8 bytes per symbol.
+    sorted: Vec<u32>,
 }
 
 impl ValueCatalog {
+    fn symbol_at(&self, code: usize) -> &str {
+        let (off, len) = self.spans[code];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Binary-searches the sorted permutation for `symbol`: `Ok` holds the
+    /// position whose code resolves to `symbol`, `Err` the insertion point.
+    fn lookup(&self, symbol: &str) -> Result<usize, usize> {
+        self.sorted
+            .binary_search_by(|&code| self.symbol_at(code as usize).cmp(symbol))
+    }
     /// Creates an empty catalog.
     pub fn new() -> Self {
         ValueCatalog::default()
@@ -62,26 +81,32 @@ impl ValueCatalog {
     /// Returns an error if the symbol is already registered.
     pub fn register(&mut self, symbol: impl Into<String>) -> Result<RawValue, SpaceError> {
         let symbol = symbol.into();
-        if self.codes.contains_key(&symbol) {
-            return Err(SpaceError::DuplicateDimension { name: symbol });
-        }
-        let code = self.symbols.len() as RawValue;
-        self.codes.insert(symbol.clone(), code);
-        self.symbols.push(symbol);
-        Ok(code)
+        let slot = match self.lookup(&symbol) {
+            Ok(_) => return Err(SpaceError::DuplicateDimension { name: symbol }),
+            Err(slot) => slot,
+        };
+        let code = self.spans.len();
+        let off = u32::try_from(self.arena.len()).expect("catalog arena under 4 GiB");
+        let len = u32::try_from(symbol.len()).expect("symbol under 4 GiB");
+        self.arena.push_str(&symbol);
+        self.spans.push((off, len));
+        self.sorted.insert(slot, code as u32);
+        Ok(code as RawValue)
     }
 
     /// The code of a symbol, if registered.
     pub fn code(&self, symbol: &str) -> Option<RawValue> {
-        self.codes.get(symbol).copied()
+        self.lookup(symbol)
+            .ok()
+            .map(|pos| RawValue::from(self.sorted[pos]))
     }
 
     /// The symbol of a code, if assigned.
     pub fn symbol(&self, code: RawValue) -> Option<&str> {
         usize::try_from(code)
             .ok()
-            .and_then(|i| self.symbols.get(i))
-            .map(String::as_str)
+            .filter(|&i| i < self.spans.len())
+            .map(|i| self.symbol_at(i))
     }
 
     /// The inclusive code range spanned by two symbols (in either order),
@@ -94,20 +119,17 @@ impl ValueCatalog {
 
     /// Number of registered symbols.
     pub fn len(&self) -> usize {
-        self.symbols.len()
+        self.spans.len()
     }
 
     /// Whether no symbols are registered.
     pub fn is_empty(&self) -> bool {
-        self.symbols.is_empty()
+        self.spans.is_empty()
     }
 
     /// Iterates over `(code, symbol)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (RawValue, &str)> {
-        self.symbols
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as RawValue, s.as_str()))
+        (0..self.spans.len()).map(|i| (i as RawValue, self.symbol_at(i)))
     }
 }
 
@@ -140,6 +162,24 @@ mod tests {
         assert_eq!(c.range("2.6.20", "2.6.22"), Some((1, 3)));
         assert_eq!(c.range("2.6.22", "2.6.20"), Some((1, 3)), "order-insensitive");
         assert_eq!(c.range("2.6.20", "9.9"), None);
+    }
+
+    #[test]
+    fn lookup_survives_non_lexicographic_registration() {
+        // Codes follow registration order; the sorted permutation must
+        // track lexicographic order independently for lookups to work.
+        let mut c = ValueCatalog::new();
+        for s in ["zeta", "alpha", "mu", "beta", "z", "a"] {
+            c.register(s).unwrap();
+        }
+        assert_eq!(c.code("zeta"), Some(0));
+        assert_eq!(c.code("a"), Some(5));
+        assert_eq!(c.code("mu"), Some(2));
+        assert_eq!(c.code("m"), None, "prefix of a symbol is not a symbol");
+        assert_eq!(c.symbol(3), Some("beta"));
+        for (code, sym) in c.iter() {
+            assert_eq!(c.code(sym), Some(code), "iter and lookup agree");
+        }
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! `results/*.csv`, printing a paper-vs-measured summary at the end — the
 //! data source for EXPERIMENTS.md.
 //!
-//! `cargo run --release -p bench --bin reproduce` (set `AUTOSEL_SCALE=1.0`
-//! for the paper's full 100 000-node populations).
+//! `cargo run --release -p bench --bin reproduce` (pass `--full` — or set
+//! `AUTOSEL_SCALE=1.0` — for the paper's full 100 000-node populations;
+//! the fig06 grid then runs the exact sizes behind the paper's "<3
+//! messages per query at N=100 000" overhead point).
 
 use bench::experiments::*;
 use bench::sweep::{run_parallel, threads};
@@ -13,6 +15,12 @@ use overlay_sim::Placement;
 
 fn main() -> std::io::Result<()> {
     bench::stats_json::init_from_args();
+    if std::env::args().any(|a| a == "--full") {
+        // Force the paper's populations before the first `scaled()` call;
+        // an explicit AUTOSEL_SCALE from the caller is overridden —
+        // `--full` means the paper's sizes, not "whatever was exported".
+        std::env::set_var("AUTOSEL_SCALE", "1.0");
+    }
     let big = scaled(100_000);
     print_table1(big);
 

@@ -3,12 +3,16 @@
 //!
 //! Two measurements (see `docs/PERFORMANCE.md` for how to read the output):
 //!
-//! 1. **Single-run wall clock** — one oracle-wired static cluster of
-//!    N ∈ `AUTOSEL_BENCH_N` nodes (default `1000,5000,10000`), 40 σ=50
-//!    best-case queries run to quiescence. Each point runs twice with the
-//!    same seed and the per-query [`QueryStats`](overlay_sim::QueryStats)
-//!    fingerprints must match,
-//!    so every benchmark run is also a determinism check.
+//! 1. **Single-run wall clock + peak RSS** — one oracle-wired static
+//!    cluster of N ∈ `AUTOSEL_BENCH_N` (default
+//!    `1000,5000,10000,100000,1000000`), 40 σ=50 best-case queries run to
+//!    quiescence. Each tier runs in a **child process** (re-exec of this
+//!    binary with `--one-shot N SEED`) so that `VmHWM` from
+//!    `/proc/self/status` is that tier's own peak resident set, not the
+//!    high-water mark of whatever larger tier ran earlier in the same
+//!    process. Each point runs twice with the same seed and the per-query
+//!    [`QueryStats`](overlay_sim::QueryStats) fingerprints must match, so
+//!    every benchmark run is also a determinism check.
 //! 2. **Sweep scaling** — a fig06-style (size × seed) grid executed by the
 //!    deterministic parallel runner ([`bench::sweep`]) once on 1 thread and
 //!    once on `AUTOSEL_THREADS` (default: available cores, capped) threads.
@@ -20,8 +24,11 @@
 //! tagged measurements (`pre-hotpath` is the frozen pre-optimization
 //! baseline — do not overwrite it).
 //!
-//! `--check` exits non-zero unless the file was written, is well-formed and
-//! every determinism digest matched — CI's `bench-smoke` gate.
+//! `--check` exits non-zero unless the file was written, is well-formed,
+//! every determinism digest matched, **and** no tier's `rss_mib` exceeds
+//! the pinned same-N `current` entry in `AUTOSEL_BENCH_BASELINE` (default
+//! `BENCH_sim.json`, read before anything is written) by more than 15% —
+//! CI's `bench-smoke` gate pins memory regressions like speed ones.
 //!
 //! ```text
 //! AUTOSEL_BENCH_N=200 AUTOSEL_BENCH_SEEDS=2 \
@@ -45,6 +52,9 @@ use rand::SeedableRng;
 
 const SCHEMA: &str = "autosel/bench-sim/v1";
 const QUERIES_PER_RUN: usize = 40;
+/// A tier's peak RSS may exceed its pinned baseline by at most this factor
+/// before `--check` fails.
+const RSS_TOLERANCE: f64 = 1.15;
 
 fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
     std::env::var(key)
@@ -61,6 +71,21 @@ fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Peak resident set of *this* process in MiB, from `VmHWM` in
+/// `/proc/self/status` (kernel-maintained high-water mark; no deps, no
+/// sampling thread). 0.0 if the proc file is unavailable (non-Linux).
+fn vm_hwm_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
 }
 
 /// One timed single-run point: builds the cluster, runs the query batch,
@@ -90,6 +115,79 @@ fn single_run(n: usize, seed: u64) -> (f64, f64, u64) {
     (setup_ms, query_ms, hasher.finish())
 }
 
+/// A tier's measurements, whether gathered in a child or in-process.
+struct TierResult {
+    setup_ms: f64,
+    query_ms: f64,
+    digest: u64,
+    deterministic: bool,
+    rss_mib: f64,
+}
+
+/// Runs a tier in the current process: double single-run (determinism
+/// check) plus this process's `VmHWM`. In the child this is the whole
+/// program; as the parent's fallback the RSS is an over-estimate (the
+/// process high-water mark is monotone across tiers).
+fn measure_tier(n: usize, seed: u64) -> TierResult {
+    let (setup_a, query_a, digest_a) = single_run(n, seed);
+    let (_, _, digest_b) = single_run(n, seed);
+    TierResult {
+        setup_ms: setup_a,
+        query_ms: query_a,
+        digest: digest_a,
+        deterministic: digest_a == digest_b,
+        rss_mib: vm_hwm_mib(),
+    }
+}
+
+/// `--one-shot N SEED` child entry point: measure one tier, print one
+/// machine-readable line on stdout, exit.
+fn one_shot_main(n: usize, seed: u64) -> ! {
+    let r = measure_tier(n, seed);
+    println!(
+        "ONESHOT n={n} setup_ms={:.2} query_ms={:.2} digest={:016x} deterministic={} rss_mib={:.1}",
+        r.setup_ms, r.query_ms, r.digest, r.deterministic, r.rss_mib
+    );
+    std::process::exit(0);
+}
+
+/// Parses the child's `ONESHOT k=v ...` line.
+fn parse_one_shot(stdout: &str) -> Option<TierResult> {
+    let line = stdout.lines().find(|l| l.starts_with("ONESHOT "))?;
+    let field = |key: &str| -> Option<&str> {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+    };
+    Some(TierResult {
+        setup_ms: field("setup_ms")?.parse().ok()?,
+        query_ms: field("query_ms")?.parse().ok()?,
+        digest: u64::from_str_radix(field("digest")?, 16).ok()?,
+        deterministic: field("deterministic")? == "true",
+        rss_mib: field("rss_mib")?.parse().ok()?,
+    })
+}
+
+/// Measures a tier in a child process (per-tier `VmHWM`); falls back to
+/// in-process measurement if the re-exec fails for any reason.
+fn run_tier(n: usize, seed: u64) -> TierResult {
+    let child = std::env::current_exe().ok().and_then(|exe| {
+        std::process::Command::new(exe)
+            .args(["--one-shot", &n.to_string(), &seed.to_string()])
+            .output()
+            .ok()
+    });
+    if let Some(out) = child {
+        std::io::stderr().write_all(&out.stderr).ok();
+        if let Some(r) = parse_one_shot(&String::from_utf8_lossy(&out.stdout)) {
+            return r;
+        }
+        eprintln!("[sweepbench] child run for N={n} unparseable; re-measuring in-process");
+    } else {
+        eprintln!("[sweepbench] could not re-exec for N={n}; measuring in-process");
+    }
+    measure_tier(n, seed)
+}
+
 /// The fig06-style sweep grid: every (size, seed) point as an independent
 /// job returning a digest of its per-query stats.
 fn sweep_jobs(sizes: &[usize], seeds: usize) -> Vec<impl FnOnce() -> u64 + Send + use<>> {
@@ -106,36 +204,81 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Extracts a numeric field (`"key":123.4`) from one of our own
+/// single-line JSON entry objects.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pinned `(n, rss_mib)` pairs from the baseline file's `current`-tag
+/// single entries — the reference points for the `--check` RSS gate.
+fn baseline_rss(path: &str) -> Vec<(usize, f64)> {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    body.lines()
+        .map(|l| l.trim().trim_end_matches(','))
+        .filter(|l| {
+            l.starts_with("{\"tag\":\"current\"") && l.contains("\"kind\":\"single\"")
+        })
+        .filter_map(|l| {
+            let n = json_num(l, "n")? as usize;
+            let rss = json_num(l, "rss_mib")?;
+            (rss > 0.0).then_some((n, rss))
+        })
+        .collect()
+}
+
 fn main() {
-    let check_mode = std::env::args().any(|a| a == "--check");
-    let sizes = env_usize_list("AUTOSEL_BENCH_N", &[1_000, 5_000, 10_000]);
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--one-shot") {
+        let n: usize = args.get(2).and_then(|s| s.parse().ok()).expect("--one-shot N SEED");
+        let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).expect("--one-shot N SEED");
+        one_shot_main(n, seed);
+    }
+    let check_mode = args.iter().any(|a| a == "--check");
+    let sizes = env_usize_list("AUTOSEL_BENCH_N", &[1_000, 5_000, 10_000, 100_000, 1_000_000]);
     let seeds = env_usize("AUTOSEL_BENCH_SEEDS", 2).max(1);
     let tag = std::env::var("AUTOSEL_BENCH_TAG").unwrap_or_else(|_| "current".to_string());
     let out_path = std::env::var("AUTOSEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    let baseline_path =
+        std::env::var("AUTOSEL_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    // Read the RSS baseline before anything is written: out and baseline
+    // may be the same file.
+    let pinned_rss = baseline_rss(&baseline_path);
     let t = threads();
 
     let mut entries: Vec<String> = Vec::new();
+    let mut measured_rss: Vec<(usize, f64)> = Vec::new();
     let mut determinism_ok = true;
 
-    // ---- single-run wall clock (each point doubles as a determinism check)
+    // ---- single-run wall clock + peak RSS, one child process per tier
+    // (each point doubles as a determinism check)
     for &n in &sizes {
         eprintln!("[sweepbench] single run, N={n}…");
-        let (setup_a, query_a, digest_a) = single_run(n, 42);
-        let (_, _, digest_b) = single_run(n, 42);
-        let ok = digest_a == digest_b;
-        determinism_ok &= ok;
-        let wall = setup_a + query_a;
+        let r = run_tier(n, 42);
+        determinism_ok &= r.deterministic;
+        let wall = r.setup_ms + r.query_ms;
         println!(
-            "single N={n}: setup {setup_a:.1} ms, {QUERIES_PER_RUN} queries {query_a:.1} ms, total {wall:.1} ms, deterministic={ok}"
+            "single N={n}: setup {:.1} ms, {QUERIES_PER_RUN} queries {:.1} ms, total {wall:.1} ms, rss {:.1} MiB, deterministic={}",
+            r.setup_ms, r.query_ms, r.rss_mib, r.deterministic
         );
+        measured_rss.push((n, r.rss_mib));
         entries.push(format!(
-            "{{\"tag\":\"{}\",\"kind\":\"single\",\"n\":{n},\"queries\":{QUERIES_PER_RUN},\"seed\":42,\"setup_ms\":{setup_a:.2},\"query_ms\":{query_a:.2},\"wall_ms\":{wall:.2},\"digest\":\"{digest_a:016x}\",\"deterministic\":{ok}}}",
-            json_escape(&tag)
+            "{{\"tag\":\"{}\",\"kind\":\"single\",\"n\":{n},\"queries\":{QUERIES_PER_RUN},\"seed\":42,\"setup_ms\":{:.2},\"query_ms\":{:.2},\"wall_ms\":{wall:.2},\"digest\":\"{:016x}\",\"deterministic\":{},\"rss_mib\":{:.1}}}",
+            json_escape(&tag), r.setup_ms, r.query_ms, r.digest, r.deterministic, r.rss_mib
         ));
     }
 
     // ---- sweep scaling: serial vs parallel over the (size × seed) grid
-    let grid_sizes: Vec<usize> = sizes.iter().map(|&n| n.min(2_000)).collect();
+    let mut grid_sizes: Vec<usize> = sizes.iter().map(|&n| n.min(2_000)).collect();
+    grid_sizes.dedup();
     let jobs_n = grid_sizes.len() * seeds;
     eprintln!("[sweepbench] sweep grid: {jobs_n} jobs, serial…");
     let t0 = Instant::now();
@@ -181,7 +324,7 @@ fn main() {
     drop(f);
     println!("wrote {} ({} entries)", out_path, kept.len());
 
-    // ---- --check: validate the artifact and the determinism digests
+    // ---- --check: validate the artifact, determinism digests, RSS gate
     if check_mode {
         let body = std::fs::read_to_string(&out_path).expect("re-read BENCH_sim.json");
         let well_formed = body.contains(SCHEMA)
@@ -196,6 +339,24 @@ fn main() {
             eprintln!("--check FAILED: determinism digest mismatch");
             std::process::exit(1);
         }
-        println!("--check OK: well-formed, deterministic");
+        let mut rss_ok = true;
+        for &(n, rss) in &measured_rss {
+            let Some(&(_, pinned)) = pinned_rss.iter().find(|&&(pn, _)| pn == n) else {
+                continue; // no pinned same-N entry: nothing to gate against
+            };
+            let limit = pinned * RSS_TOLERANCE;
+            if rss > limit {
+                eprintln!(
+                    "--check FAILED: N={n} peak RSS {rss:.1} MiB exceeds pinned {pinned:.1} MiB by >15% (limit {limit:.1})"
+                );
+                rss_ok = false;
+            } else {
+                println!("rss gate N={n}: {rss:.1} MiB vs pinned {pinned:.1} MiB — ok");
+            }
+        }
+        if !rss_ok {
+            std::process::exit(1);
+        }
+        println!("--check OK: well-formed, deterministic, rss within bounds");
     }
 }

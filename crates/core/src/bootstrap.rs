@@ -278,7 +278,7 @@ impl OracleWiring {
         table.clear();
         for &m in g.zero.get(packed_zero(own, ml)) {
             if m as usize != i {
-                table.insert_zero(self.entries[m as usize].clone());
+                table.insert_zero(&self.entries[m as usize]);
             }
         }
         for level in 1..=ml {
@@ -288,7 +288,7 @@ impl OracleWiring {
                 let cands = g.slots[(level as usize - 1) * self.d + dim].get(key);
                 if !cands.is_empty() {
                     let pick = cands[rng.gen_range(0..cands.len())] as usize;
-                    table.set_neighbor(level, dim, self.entries[pick].clone());
+                    table.set_neighbor(level, dim, &self.entries[pick]);
                 }
             }
         }
@@ -308,7 +308,7 @@ impl OracleWiring {
         if let Some(mates) = groups.zero.get(&zero_key(own)) {
             for &m in mates {
                 if m as usize != i {
-                    table.insert_zero(self.entries[m as usize].clone());
+                    table.insert_zero(&self.entries[m as usize]);
                 }
             }
         }
@@ -318,7 +318,7 @@ impl OracleWiring {
                 if let Some(cands) = groups.slots[(level as usize - 1) * self.d + dim].get(&key) {
                     if !cands.is_empty() {
                         let pick = cands[rng.gen_range(0..cands.len())] as usize;
-                        table.set_neighbor(level, dim, self.entries[pick].clone());
+                        table.set_neighbor(level, dim, &self.entries[pick]);
                     }
                 }
             }
@@ -391,8 +391,8 @@ mod tests {
                     let occupant = nodes[i].routing().neighbor(level, dim);
                     let exists = coords.iter().any(|c| region.contains(c));
                     assert_eq!(occupant.is_some(), exists, "node {i} slot ({level},{dim})");
-                    if let Some(e) = occupant {
-                        assert!(region.contains(&e.coord));
+                    if let Some(id) = occupant {
+                        assert!(region.contains(&coords[id as usize]));
                     }
                 }
             }
@@ -450,11 +450,11 @@ mod tests {
                     "RNG draw counts diverged"
                 );
                 let links = |t: &RoutingTable| -> Vec<(Level, usize, NodeId)> {
-                    t.filled_slots().map(|(l, d, e)| (l, d, e.id)).collect()
+                    t.filled_slots().collect()
                 };
                 assert_eq!(links(&ta), links(&tb), "node {i}: slot wiring diverged");
                 let zeros = |t: &RoutingTable| -> Vec<NodeId> {
-                    t.zero_neighbors().map(|e| e.id).collect()
+                    t.zero_neighbors().map(|(id, _)| id).collect()
                 };
                 assert_eq!(zeros(&ta), zeros(&tb), "node {i}: C0 wiring diverged");
             }

@@ -184,6 +184,12 @@ pub struct SelectionNode {
     /// Current values of this node's dynamic attributes (footnote 1).
     dynamic: FastMap<u32, attrspace::RawValue>,
     pending: FastMap<QueryId, PendingQuery>,
+    /// Recycled shells of concluded [`PendingQuery`] records. A record
+    /// bundles five containers (match list, three dedup sets, the waiting
+    /// table) that churn once per query per hop; re-using the emptied
+    /// shells keeps their capacity warm instead of round-tripping the
+    /// allocator on every query. Bounded; see [`Self::recycle_pending`].
+    spare: Vec<PendingQuery>,
     /// Every query id ever accepted — duplicates are never re-processed,
     /// keeping the traversal exactly-once even under retries. While the
     /// query is still pending here the duplicate is *suppressed* (the real
@@ -236,6 +242,7 @@ impl SelectionNode {
             coord,
             dynamic: FastMap::default(),
             pending: FastMap::default(),
+            spare: Vec::new(),
             seen: FastSet::default(),
             reply_cache: FastMap::default(),
             reply_cache_order: VecDeque::new(),
@@ -480,13 +487,13 @@ impl SelectionNode {
             }
         }
 
-        for (level, dim, e) in self.routing.filled_slots() {
+        for (level, dim, id) in self.routing.filled_slots() {
             h.word(u64::from(level));
             h.word(dim as u64);
-            h.word(e.id);
+            h.word(id);
         }
-        for e in self.routing.zero_neighbors() {
-            h.word(e.id);
+        for (id, _) in self.routing.zero_neighbors() {
+            h.word(id);
         }
         h.finish()
     }
@@ -795,22 +802,39 @@ impl SelectionNode {
         let level = msg.level.clamp(-1, self.space.max_level() as i8);
         let dims = msg.dims & all_dims(self.space.dims());
 
-        let mut p = PendingQuery {
-            query: msg.query,
-            dynamic: msg.dynamic,
-            sigma: msg.sigma,
-            level,
-            dims,
-            reply_to: from,
-            count_only: msg.count_only,
-            count: 0,
-            matching: Vec::new(),
-            matched_ids: FastSet::default(),
-            attempt: msg.attempt,
-            next_attempt: 1,
-            waiting: FastMap::default(),
-            contacted_zero: FastSet::default(),
-            visited_zero: msg.visited_zero.into_iter().collect(),
+        let mut p = if let Some(mut shell) = self.spare.pop() {
+            // Containers arrive emptied (recycle_pending) with capacity
+            // warm; only the scalars and inputs need (re)setting.
+            shell.query = msg.query;
+            shell.dynamic = msg.dynamic;
+            shell.sigma = msg.sigma;
+            shell.level = level;
+            shell.dims = dims;
+            shell.reply_to = from;
+            shell.count_only = msg.count_only;
+            shell.count = 0;
+            shell.attempt = msg.attempt;
+            shell.next_attempt = 1;
+            shell.visited_zero.extend(msg.visited_zero);
+            shell
+        } else {
+            PendingQuery {
+                query: msg.query,
+                dynamic: msg.dynamic,
+                sigma: msg.sigma,
+                level,
+                dims,
+                reply_to: from,
+                count_only: msg.count_only,
+                count: 0,
+                matching: Vec::new(),
+                matched_ids: FastSet::default(),
+                attempt: msg.attempt,
+                next_attempt: 1,
+                waiting: FastMap::default(),
+                contacted_zero: FastSet::default(),
+                visited_zero: msg.visited_zero.into_iter().collect(),
+            }
         };
         let matched = self.matches_fully(&p.query, &p.dynamic);
         if matched {
@@ -949,7 +973,7 @@ impl SelectionNode {
                 // pruning this dimension from both our own frontier and the
                 // forwarded scope (prevents backward propagation, Fig.5 l.4).
                 p.dims &= !(1 << dim);
-                if let Some(n) = self.routing.neighbor(level, dim) {
+                if let Some(link) = self.routing.neighbor(level, dim) {
                     let attempt = p.next_attempt;
                     p.next_attempt += 1;
                     // Attempt monotonicity: every freshly stamped id must
@@ -970,8 +994,8 @@ impl SelectionNode {
                         visited_zero: Vec::new(),
                         attempt,
                     };
-                    p.waiting.insert(n.id, (deadline, attempt));
-                    let (to, fwd_level) = (n.id, p.level);
+                    p.waiting.insert(link, (deadline, attempt));
+                    let (to, fwd_level) = (link, p.level);
                     self.obs.emit(|| Event::QueryForwarded {
                         at: now,
                         query: qref(qid),
@@ -998,13 +1022,13 @@ impl SelectionNode {
             // mates absent from the message's visited set — the epidemic
             // broadcast of §4.1 for densely populated cells.
             let mut targets = Vec::new();
-            for n in self.routing.zero_neighbors() {
-                if p.query.matches(&n.point)
-                    && !p.matched_ids.contains(&n.id)
-                    && !p.contacted_zero.contains(&n.id)
-                    && !p.visited_zero.contains(&n.id)
+            for (nid, npoint) in self.routing.zero_neighbors() {
+                if p.query.matches(npoint)
+                    && !p.matched_ids.contains(&nid)
+                    && !p.contacted_zero.contains(&nid)
+                    && !p.visited_zero.contains(&nid)
                 {
-                    targets.push(n.id);
+                    targets.push(nid);
                 }
             }
             let mut visited: Vec<NodeId> = p
@@ -1081,15 +1105,19 @@ impl SelectionNode {
                 count: p.count,
             });
         }
-        match p.reply_to {
+        let mut p = p;
+        let matching = std::mem::take(&mut p.matching);
+        let (reply_to, count, attempt) = (p.reply_to, p.count, p.attempt);
+        self.recycle_pending(p);
+        match reply_to {
             Some(upstream) => {
                 self.obs.emit(|| Event::ReplySent {
                     at: now,
                     query: qref(qid),
                     node: self.id,
                     to: upstream,
-                    count: p.count,
-                    attempt: p.attempt,
+                    count,
+                    attempt,
                 });
                 if self.config.reply_cache > 0 {
                     // Keep the final answer around so duplicate QUERYs
@@ -1101,18 +1129,13 @@ impl SelectionNode {
                     }
                     self.reply_cache.insert(
                         qid,
-                        CachedReply { to: upstream, matching: p.matching.clone(), count: p.count },
+                        CachedReply { to: upstream, matching: matching.clone(), count },
                     );
                     self.reply_cache_order.push_back(qid);
                 }
                 vec![Output::Send {
                     to: upstream,
-                    msg: Message::Reply(ReplyMsg {
-                        id: qid,
-                        matching: p.matching,
-                        count: p.count,
-                        attempt: p.attempt,
-                    }),
+                    msg: Message::Reply(ReplyMsg { id: qid, matching, count, attempt }),
                 }]
             }
             None => {
@@ -1120,11 +1143,30 @@ impl SelectionNode {
                     at: now,
                     query: qref(qid),
                     node: self.id,
-                    count: p.count,
+                    count,
                 });
-                vec![Output::Completed { id: qid, matches: p.matching, count: p.count }]
+                vec![Output::Completed { id: qid, matches: matching, count }]
             }
         }
+    }
+
+    /// Returns a concluded record's shell to the [`spare`](Self::spare)
+    /// pool, emptied, so the next accepted query re-uses its container
+    /// capacity. The pool is small and bounded: a node concludes queries
+    /// one at a time, so a handful of shells covers any burst, and an
+    /// unbounded pool would slowly pin the peak working set forever.
+    fn recycle_pending(&mut self, mut p: PendingQuery) {
+        const SPARE_CAP: usize = 4;
+        if self.spare.len() >= SPARE_CAP {
+            return;
+        }
+        p.matching.clear();
+        p.dynamic.clear();
+        p.matched_ids.clear();
+        p.waiting.clear();
+        p.contacted_zero.clear();
+        p.visited_zero.clear();
+        self.spare.push(p);
     }
 }
 

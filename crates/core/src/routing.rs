@@ -1,4 +1,3 @@
-use std::collections::BTreeMap;
 use std::fmt;
 
 use attrspace::{CellCoord, Level, Neighborhood, Point, Space};
@@ -6,6 +5,13 @@ use epigossip::NodeId;
 use rand::Rng;
 
 /// A routing-table entry: a peer plus the attribute values it advertised.
+///
+/// This is the *currency* of bootstrap and observation — the table itself
+/// does not store entries. Slots keep only the chosen peer's id (the
+/// routing decision needs nothing else), and the `neighborsZero` set keeps
+/// `(id, point)` pairs (the fanout matches against points); coordinates
+/// are never stored, since a slot peer's coordinate is recomputable and a
+/// `C0` mate's coordinate *is* this node's own.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborEntry {
     /// The peer's id.
@@ -16,6 +22,10 @@ pub struct NeighborEntry {
     pub coord: CellCoord,
 }
 
+/// Sentinel for an empty `(l,k)` slot; node ids are dense from zero and
+/// never reach it.
+const EMPTY: NodeId = NodeId::MAX;
+
 /// The per-node routing state of §4.1: one selected neighbor `n(l,k)` per
 /// neighboring subcell `N(l,k)` (empty slots mean no known node in that
 /// subcell) plus the `neighborsZero` set of all known same-`C0` nodes.
@@ -23,13 +33,23 @@ pub struct NeighborEntry {
 /// The number of slots is `d × max(l)` — linear in the number of dimensions,
 /// which is the property that lets the protocol scale to high-dimensional
 /// attribute spaces where CAN/Voronoi-style partitioning explodes.
+///
+/// Storage is struct-of-arrays and id-centric: slots are a bare
+/// `Vec<NodeId>` (8 bytes each instead of a ~48-byte `Option<NeighborEntry>`)
+/// and the zero set is a sorted id column with a parallel point column —
+/// at a million nodes the routing layer's footprint is dominated by what
+/// queries actually read, nothing else.
 pub struct RoutingTable {
     space: Space,
     own: CellCoord,
-    /// Slot `(level-1) * d + dim` holds the chosen neighbor in `N(level,dim)`.
-    slots: Vec<Option<NeighborEntry>>,
-    /// All known nodes of this node's own `C0` cell, ordered for determinism.
-    zero: BTreeMap<NodeId, NeighborEntry>,
+    /// Slot `(level-1) * d + dim` holds the chosen neighbor's id in
+    /// `N(level,dim)`, or [`EMPTY`].
+    slots: Vec<NodeId>,
+    /// Ids of all known nodes of this node's own `C0` cell, sorted
+    /// ascending (the determinism order the old `BTreeMap` provided).
+    zero_ids: Vec<NodeId>,
+    /// Advertised points of the `C0` mates, parallel to `zero_ids`.
+    zero_points: Vec<Point>,
 }
 
 impl fmt::Debug for RoutingTable {
@@ -37,7 +57,7 @@ impl fmt::Debug for RoutingTable {
         f.debug_struct("RoutingTable")
             .field("own", &self.own)
             .field("links", &self.link_count())
-            .field("zero", &self.zero.len())
+            .field("zero", &self.zero_ids.len())
             .finish_non_exhaustive()
     }
 }
@@ -45,8 +65,8 @@ impl fmt::Debug for RoutingTable {
 impl RoutingTable {
     /// Creates an empty table for a node at `own` in `space`.
     pub fn new(space: Space, own: CellCoord) -> Self {
-        let slots = vec![None; space.dims() * space.max_level() as usize];
-        RoutingTable { space, own, slots, zero: BTreeMap::new() }
+        let slots = vec![EMPTY; space.dims() * space.max_level() as usize];
+        RoutingTable { space, own, slots, zero_ids: Vec::new(), zero_points: Vec::new() }
     }
 
     fn slot_index(&self, level: Level, dim: usize) -> usize {
@@ -66,23 +86,25 @@ impl RoutingTable {
     }
 
     /// The chosen neighbor `n(l,k)`, if any node is known in `N(l,k)`.
-    pub fn neighbor(&self, level: Level, dim: usize) -> Option<&NeighborEntry> {
-        self.slots[self.slot_index(level, dim)].as_ref()
+    pub fn neighbor(&self, level: Level, dim: usize) -> Option<NodeId> {
+        let id = self.slots[self.slot_index(level, dim)];
+        (id != EMPTY).then_some(id)
     }
 
-    /// The `neighborsZero` set: all known nodes of this node's `C0` cell.
-    pub fn zero_neighbors(&self) -> impl Iterator<Item = &NeighborEntry> {
-        self.zero.values()
+    /// The `neighborsZero` set: all known nodes of this node's `C0` cell
+    /// with their advertised points, ascending by id.
+    pub fn zero_neighbors(&self) -> impl Iterator<Item = (NodeId, &Point)> {
+        self.zero_ids.iter().copied().zip(self.zero_points.iter())
     }
 
     /// Number of same-`C0` links.
     pub fn zero_count(&self) -> usize {
-        self.zero.len()
+        self.zero_ids.len()
     }
 
     /// Number of non-empty `(l,k)` slots.
     pub fn slot_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.iter().filter(|&&s| s != EMPTY).count()
     }
 
     /// Total `(l,k)` slots, filled or not (`d × max(l)`).
@@ -92,7 +114,19 @@ impl RoutingTable {
 
     /// Total links maintained (Fig. 10's metric: slot links + `C0` links).
     pub fn link_count(&self) -> usize {
-        self.slot_count() + self.zero.len()
+        self.slot_count() + self.zero_ids.len()
+    }
+
+    /// Records a `C0` mate, keeping the id column sorted; a re-observation
+    /// refreshes the stored point (last write wins, as the old map did).
+    fn upsert_zero(&mut self, id: NodeId, point: Point) {
+        match self.zero_ids.binary_search(&id) {
+            Ok(i) => self.zero_points[i] = point,
+            Err(i) => {
+                self.zero_ids.insert(i, id);
+                self.zero_points.insert(i, point);
+            }
+        }
     }
 
     /// Classifies and records a peer: same-`C0` peers join `neighborsZero`;
@@ -101,16 +135,12 @@ impl RoutingTable {
     /// re-selection.
     pub fn observe(&mut self, id: NodeId, point: Point) {
         let coord = self.space.cell_coord(&point);
-        let entry = NeighborEntry { id, point, coord };
-        match self.own.classify(&entry.coord) {
-            Neighborhood::Zero => {
-                self.zero.insert(id, entry);
-            }
+        match self.own.classify(&coord) {
+            Neighborhood::Zero => self.upsert_zero(id, point),
             Neighborhood::Cell { level, dim } => {
                 let idx = self.slot_index(level, dim);
-                match &self.slots[idx] {
-                    Some(existing) if existing.id != id => {}
-                    _ => self.slots[idx] = Some(entry),
+                if self.slots[idx] == EMPTY || self.slots[idx] == id {
+                    self.slots[idx] = id;
                 }
             }
         }
@@ -118,10 +148,9 @@ impl RoutingTable {
 
     /// Empties the whole table.
     pub fn clear(&mut self) {
-        self.zero.clear();
-        for s in &mut self.slots {
-            *s = None;
-        }
+        self.zero_ids.clear();
+        self.zero_points.clear();
+        self.slots.fill(EMPTY);
     }
 
     /// Directly sets the link for slot `(level, dim)` (oracle bootstrap).
@@ -130,13 +159,13 @@ impl RoutingTable {
     ///
     /// Panics (debug) if the entry does not lie in `N(level, dim)` of this
     /// node.
-    pub fn set_neighbor(&mut self, level: Level, dim: usize, entry: NeighborEntry) {
+    pub fn set_neighbor(&mut self, level: Level, dim: usize, entry: &NeighborEntry) {
         debug_assert!(
             self.own.neighboring_cell(level, dim).contains(&entry.coord),
             "entry outside N({level},{dim})"
         );
         let idx = self.slot_index(level, dim);
-        self.slots[idx] = Some(entry);
+        self.slots[idx] = entry.id;
     }
 
     /// Directly inserts a `neighborsZero` member (oracle bootstrap).
@@ -144,17 +173,20 @@ impl RoutingTable {
     /// # Panics
     ///
     /// Panics (debug) if the entry is not in this node's `C0` cell.
-    pub fn insert_zero(&mut self, entry: NeighborEntry) {
+    pub fn insert_zero(&mut self, entry: &NeighborEntry) {
         debug_assert!(entry.coord.same_cell(&self.own, 0), "entry outside C0");
-        self.zero.insert(entry.id, entry);
+        self.upsert_zero(entry.id, entry.point.clone());
     }
 
     /// Removes a peer everywhere (failure suspicion).
     pub fn remove(&mut self, id: NodeId) {
-        self.zero.remove(&id);
+        if let Ok(i) = self.zero_ids.binary_search(&id) {
+            self.zero_ids.remove(i);
+            self.zero_points.remove(i);
+        }
         for s in &mut self.slots {
-            if s.as_ref().is_some_and(|e| e.id == id) {
-                *s = None;
+            if *s == id {
+                *s = EMPTY;
             }
         }
     }
@@ -173,46 +205,44 @@ impl RoutingTable {
         candidates: impl IntoIterator<Item = (NodeId, Point)>,
         rng: &mut R,
     ) -> usize {
-        let mut per_slot: Vec<Vec<NeighborEntry>> = vec![Vec::new(); self.slots.len()];
-        let mut zero = BTreeMap::new();
+        let mut per_slot: Vec<Vec<NodeId>> = vec![Vec::new(); self.slots.len()];
+        self.zero_ids.clear();
+        self.zero_points.clear();
         for (id, point) in candidates {
             let coord = self.space.cell_coord(&point);
-            let entry = NeighborEntry { id, point, coord };
-            match self.own.classify(&entry.coord) {
-                Neighborhood::Zero => {
-                    zero.insert(id, entry);
-                }
+            match self.own.classify(&coord) {
+                Neighborhood::Zero => self.upsert_zero(id, point),
                 Neighborhood::Cell { level, dim } => {
-                    per_slot[self.slot_index(level, dim)].push(entry);
+                    per_slot[self.slot_index(level, dim)].push(id);
                 }
             }
         }
-        self.zero = zero;
         let mut changed = 0;
         for (slot, cands) in self.slots.iter_mut().zip(per_slot) {
             if cands.is_empty() {
-                if slot.take().is_some() {
+                if *slot != EMPTY {
+                    *slot = EMPTY;
                     changed += 1;
                 }
                 continue;
             }
-            let keep = slot
-                .as_ref()
-                .is_some_and(|cur| cands.iter().any(|c| c.id == cur.id));
+            let keep = *slot != EMPTY && cands.contains(slot);
             if !keep {
-                *slot = Some(cands[rng.gen_range(0..cands.len())].clone());
+                *slot = cands[rng.gen_range(0..cands.len())];
                 changed += 1;
             }
         }
         changed
     }
 
-    /// Iterates over the filled `(level, dim, entry)` slots.
-    pub fn filled_slots(&self) -> impl Iterator<Item = (Level, usize, &NeighborEntry)> {
+    /// Iterates over the filled `(level, dim, id)` slots.
+    pub fn filled_slots(&self) -> impl Iterator<Item = (Level, usize, NodeId)> + '_ {
         let d = self.space.dims();
-        self.slots.iter().enumerate().filter_map(move |(i, s)| {
-            s.as_ref().map(|e| ((i / d + 1) as Level, i % d, e))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != EMPTY)
+            .map(move |(i, &s)| ((i / d + 1) as Level, i % d, s))
     }
 }
 
@@ -241,10 +271,10 @@ mod tests {
         assert_eq!(t.zero_count(), 1);
         // Opposite half along dimension 0 → N(3,0).
         t.observe(3, space().point(&[75, 15]).expect("coords lie inside the space"));
-        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3);
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe"), 3);
         // Same C1, other bucket along dim 1 → N(1,1).
         t.observe(4, space().point(&[15, 5]).expect("coords lie inside the space"));
-        assert_eq!(t.neighbor(1, 1).expect("slot filled by observe").id, 4);
+        assert_eq!(t.neighbor(1, 1).expect("slot filled by observe"), 4);
         assert_eq!(t.link_count(), 3);
     }
 
@@ -253,7 +283,20 @@ mod tests {
         let mut t = table_at([15, 15]);
         t.observe(3, space().point(&[75, 15]).expect("coords lie inside the space"));
         t.observe(5, space().point(&[70, 10]).expect("coords lie inside the space")); // same subcell N(3,0)
-        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3, "first link kept");
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe"), 3, "first link kept");
+    }
+
+    #[test]
+    fn observe_refreshes_zero_point_in_place() {
+        let s = space();
+        let mut t = table_at([15, 15]);
+        t.observe(2, s.point(&[12, 11]).expect("coords lie inside the space"));
+        let fresh = s.point(&[13, 12]).expect("coords lie inside the space");
+        t.observe(2, fresh.clone());
+        assert_eq!(t.zero_count(), 1, "re-observation is an update, not a duplicate");
+        let (id, p) = t.zero_neighbors().next().expect("one zero mate");
+        assert_eq!(id, 2);
+        assert_eq!(p, &fresh, "stored point refreshed by the later observation");
     }
 
     #[test]
@@ -282,11 +325,11 @@ mod tests {
             ],
             &mut rng,
         );
-        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 3, "stability: holder kept");
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe"), 3, "stability: holder kept");
         assert_eq!(t.zero_count(), 1);
         // Holder vanishes from candidates → random replacement.
         t.rebuild(vec![(5, s.point(&[70, 10]).expect("coords lie inside the space"))], &mut rng);
-        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe").id, 5);
+        assert_eq!(t.neighbor(3, 0).expect("slot filled by observe"), 5);
         assert_eq!(t.zero_count(), 0, "zero set rebuilt from scratch");
     }
 
@@ -296,8 +339,7 @@ mod tests {
         let mut t = table_at([15, 15]);
         t.observe(3, s.point(&[75, 15]).expect("coords lie inside the space")); // N(3,0)
         t.observe(4, s.point(&[15, 5]).expect("coords lie inside the space")); // N(1,1)
-        let mut got: Vec<(Level, usize, NodeId)> =
-            t.filled_slots().map(|(l, k, e)| (l, k, e.id)).collect();
+        let mut got: Vec<(Level, usize, NodeId)> = t.filled_slots().collect();
         got.sort_unstable();
         assert_eq!(got, vec![(1, 1, 4), (3, 0, 3)]);
     }

@@ -21,8 +21,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Asserts the full slot algebra on a table.
-fn assert_slot_algebra(t: &RoutingTable) {
+/// Asserts the full slot algebra on a table. Slots store only ids now, so
+/// the "occupant really lies in N(l,k)" check consults `universe` — every
+/// `(id, point)` pair the table has ever been offered: some offering of
+/// the holder's id must classify into the slot it occupies.
+fn assert_slot_algebra(t: &RoutingTable, universe: &[(NodeId, attrspace::Point)]) {
     let space = t.space();
     let own = t.own_coord();
     let bound = space.dims() * space.max_level() as usize;
@@ -30,27 +33,26 @@ fn assert_slot_algebra(t: &RoutingTable) {
     assert!(t.slot_count() <= bound, "slot bound d*max(l) = {bound} exceeded");
     assert_eq!(t.link_count(), t.slot_count() + t.zero_count());
 
-    // Each filled slot is occupied by a node genuinely inside N(l,k), and
-    // no (l,k) appears twice (filled_slots enumerates distinct indices, so
-    // duplicates would show as a count mismatch).
+    // Each filled slot is occupied by a node genuinely offered for N(l,k),
+    // and no (l,k) appears twice (filled_slots enumerates distinct indices,
+    // so duplicates would show as a count mismatch).
     let mut seen = std::collections::HashSet::new();
-    for (level, dim, entry) in t.filled_slots() {
+    for (level, dim, id) in t.filled_slots() {
         assert!(seen.insert((level, dim)), "two occupants for N({level},{dim})");
-        assert_eq!(
-            own.classify(&entry.coord),
-            Neighborhood::Cell { level, dim },
-            "slot ({level},{dim}) holds a node from the wrong subcell"
+        assert!(
+            universe.iter().any(|(uid, p)| *uid == id
+                && own.classify(&space.cell_coord(p)) == Neighborhood::Cell { level, dim }),
+            "slot ({level},{dim}) holds node {id}, never offered for that subcell"
         );
     }
     assert_eq!(seen.len(), t.slot_count());
 
-    // The zero set stays within the owner's own C0 cell.
-    for entry in t.zero_neighbors() {
+    // The zero set stays within the owner's own C0 cell — checkable from
+    // the stored points directly.
+    for (id, point) in t.zero_neighbors() {
         assert!(
-            entry.coord.same_cell(own, 0),
-            "neighborsZero contains {:?}, outside own C0 {:?}",
-            entry.coord,
-            own
+            space.cell_coord(point).same_cell(own, 0),
+            "neighborsZero contains {id} at {point:?}, outside own C0 {own:?}"
         );
     }
 }
@@ -73,17 +75,20 @@ proptest! {
         let own = space.cell_coord(&own_point);
         let mut t = RoutingTable::new(space.clone(), own);
 
+        let mut offered: Vec<(NodeId, attrspace::Point)> = Vec::new();
         for (i, (id, vals)) in peers.iter().enumerate() {
-            t.observe(*id as NodeId, space.point(&vals[..d]).unwrap());
-            assert_slot_algebra(&t);
+            let p = space.point(&vals[..d]).unwrap();
+            offered.push((*id as NodeId, p.clone()));
+            t.observe(*id as NodeId, p);
+            assert_slot_algebra(&t, &offered);
             if i % remove_every == 0 {
                 t.remove(*id as NodeId);
-                assert_slot_algebra(&t);
+                assert_slot_algebra(&t, &offered);
                 prop_assert!(
-                    t.filled_slots().all(|(_, _, e)| e.id != *id as NodeId),
+                    t.filled_slots().all(|(_, _, sid)| sid != *id as NodeId),
                     "removed id still holds a slot"
                 );
-                prop_assert!(t.zero_neighbors().all(|e| e.id != *id as NodeId));
+                prop_assert!(t.zero_neighbors().all(|(zid, _)| zid != *id as NodeId));
             }
         }
     }
@@ -113,7 +118,7 @@ proptest! {
         };
 
         t.rebuild(to_entries(&first), &mut rng);
-        assert_slot_algebra(&t);
+        assert_slot_algebra(&t, &to_entries(&first));
         // Every same-C0 candidate must be in the zero set (no candidate is
         // silently dropped from its own cell) with last-write-wins points.
         let own_coord = t.own_coord().clone();
@@ -123,28 +128,27 @@ proptest! {
             .map(|(id, _)| id)
             .collect();
         let got_zero: std::collections::HashSet<NodeId> =
-            t.zero_neighbors().map(|e| e.id).collect();
+            t.zero_neighbors().map(|(id, _)| id).collect();
         prop_assert_eq!(got_zero, expected_zero);
 
         // Stability: a holder still offered in the second candidate set
         // keeps its slot.
-        let held: Vec<(u8, usize, NodeId)> =
-            t.filled_slots().map(|(l, k, e)| (l, k, e.id)).collect();
+        let held: Vec<(u8, usize, NodeId)> = t.filled_slots().collect();
         t.rebuild(to_entries(&second), &mut rng);
-        assert_slot_algebra(&t);
+        assert_slot_algebra(&t, &to_entries(&second));
         for (l, k, id) in held {
             if second.iter().any(|(sid, _)| *sid as NodeId == id) {
                 // The old holder is among the new candidates; it can only
                 // keep the slot if it still classifies there (same id may
                 // reappear at a different point).
-                if let Some(e) = t.neighbor(l, k) {
+                if let Some(cur) = t.neighbor(l, k) {
                     let offered_same_place = to_entries(&second).iter().any(|(sid, p)| {
                         *sid == id
                             && t.own_coord().classify(&space.cell_coord(p))
                                 == Neighborhood::Cell { level: l, dim: k }
                     });
                     if offered_same_place {
-                        prop_assert_eq!(e.id, id, "stable holder evicted from N({},{})", l, k);
+                        prop_assert_eq!(cur, id, "stable holder evicted from N({},{})", l, k);
                     }
                 }
             }
@@ -152,6 +156,6 @@ proptest! {
 
         t.clear();
         prop_assert_eq!(t.link_count(), 0);
-        assert_slot_algebra(&t);
+        assert_slot_algebra(&t, &[]);
     }
 }

@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -7,10 +5,15 @@ use crate::{Descriptor, NodeId};
 
 /// A bounded partial view: at most `capacity` descriptors, at most one per
 /// peer id. This is the data structure underlying both gossip layers.
+///
+/// Lookups scan the entry vector linearly: views are small (capacity ~20),
+/// so a scan over one cache line of ids beats maintaining a side
+/// `HashMap<NodeId, usize>` — which at a million nodes cost more memory
+/// than the descriptors themselves and had to be repaired on every
+/// swap-remove.
 #[derive(Debug, Clone)]
 pub struct View<P> {
     entries: Vec<Descriptor<P>>,
-    index: HashMap<NodeId, usize>,
     capacity: usize,
     /// Monotone count of ids that *entered* the view (were not present the
     /// instant before). The overlay-health replacement-rate gauge: drivers
@@ -26,12 +29,7 @@ impl<P> View<P> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "view capacity must be positive");
-        View {
-            entries: Vec::with_capacity(capacity),
-            index: HashMap::new(),
-            capacity,
-            turnover: 0,
-        }
+        View { entries: Vec::with_capacity(capacity), capacity, turnover: 0 }
     }
 
     /// Maximum number of descriptors.
@@ -67,14 +65,19 @@ impl<P> View<P> {
         self.entries.is_empty()
     }
 
+    /// Position of `id`'s descriptor, if present.
+    fn position(&self, id: NodeId) -> Option<usize> {
+        self.entries.iter().position(|d| d.id == id)
+    }
+
     /// Whether the view holds a descriptor for `id`.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.index.contains_key(&id)
+        self.position(id).is_some()
     }
 
     /// The descriptor for `id`, if present.
     pub fn get(&self, id: NodeId) -> Option<&Descriptor<P>> {
-        self.index.get(&id).map(|&i| &self.entries[i])
+        self.position(id).map(|i| &self.entries[i])
     }
 
     /// Iterates over the descriptors in unspecified order.
@@ -93,22 +96,19 @@ impl<P> View<P> {
     /// and `d.id` is new, the *oldest* entry is evicted (age-based healing).
     /// When replacing, the fresher (lower-age) descriptor wins.
     pub fn insert(&mut self, d: Descriptor<P>) {
-        if let Some(&i) = self.index.get(&d.id) {
+        if let Some(i) = self.position(d.id) {
             if d.age <= self.entries[i].age {
                 self.entries[i] = d;
             }
             return;
         }
         if self.entries.len() < self.capacity {
-            self.index.insert(d.id, self.entries.len());
             self.entries.push(d);
             self.turnover += 1;
             return;
         }
         if let Some(i) = self.oldest_index() {
             if d.age <= self.entries[i].age {
-                self.index.remove(&self.entries[i].id);
-                self.index.insert(d.id, i);
                 self.entries[i] = d;
                 self.turnover += 1;
             }
@@ -117,12 +117,8 @@ impl<P> View<P> {
 
     /// Removes and returns the descriptor for `id`.
     pub fn remove(&mut self, id: NodeId) -> Option<Descriptor<P>> {
-        let i = self.index.remove(&id)?;
-        let d = self.entries.swap_remove(i);
-        if i < self.entries.len() {
-            self.index.insert(self.entries[i].id, i);
-        }
-        Some(d)
+        let i = self.position(id)?;
+        Some(self.entries.swap_remove(i))
     }
 
     /// The id of the oldest descriptor (CYCLON's shuffle-partner choice).
@@ -182,32 +178,25 @@ impl<P: Clone> View<P> {
             if d.id == self_id {
                 continue;
             }
-            if let Some(&i) = self.index.get(&d.id) {
+            if let Some(i) = self.position(d.id) {
                 if d.age < self.entries[i].age {
                     self.entries[i] = d;
                 }
                 continue;
             }
             if self.entries.len() < self.capacity {
-                self.index.insert(d.id, self.entries.len());
                 self.entries.push(d);
                 self.turnover += 1;
                 continue;
             }
-            let mut placed = false;
             while let Some(victim) = replaceable.pop() {
-                if let Some(&i) = self.index.get(&victim) {
-                    self.index.remove(&victim);
-                    self.index.insert(d.id, i);
+                if let Some(i) = self.position(victim) {
                     self.entries[i] = d.clone();
                     self.turnover += 1;
-                    placed = true;
                     break;
                 }
             }
-            if !placed {
-                // View full and nothing replaceable: drop the descriptor.
-            }
+            // View full and nothing replaceable: the descriptor is dropped.
         }
     }
 
@@ -220,17 +209,16 @@ impl<P: Clone> View<P> {
     /// capacity; later duplicates are ignored). Used by selector-driven
     /// layers after re-ranking.
     pub fn replace_all(&mut self, entries: Vec<Descriptor<P>>) {
-        let previous = std::mem::take(&mut self.index);
+        let previous: Vec<NodeId> = self.ids();
         self.entries.clear();
         for d in entries {
             if self.entries.len() == self.capacity {
                 break;
             }
-            if !self.index.contains_key(&d.id) {
-                if !previous.contains_key(&d.id) {
+            if !self.contains(d.id) {
+                if !previous.contains(&d.id) {
                     self.turnover += 1;
                 }
-                self.index.insert(d.id, self.entries.len());
                 self.entries.push(d);
             }
         }
@@ -271,7 +259,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_keeps_index_consistent() {
+    fn remove_keeps_lookup_consistent() {
         let mut v = View::new(4);
         for i in 1..=4 {
             v.insert(d(i, i as u32));

@@ -1,6 +1,7 @@
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -45,14 +46,20 @@ impl Ord for DelayedSend {
 /// Single background thread draining latency-injected in-memory sends in
 /// due-time order, replacing a thread-per-message design.
 struct DelayLine {
-    queue: Mutex<(BinaryHeap<DelayedSend>, u64)>,
+    queue: Mutex<BinaryHeap<DelayedSend>>,
+    /// FIFO tie-break for equal due times. An atomic rather than a second
+    /// field under `queue`'s mutex: drawing a sequence number must not
+    /// serialize senders against the worker thread holding the queue lock
+    /// while it drains due messages.
+    seq: AtomicU64,
     wake: Condvar,
 }
 
 impl DelayLine {
     fn start() -> Arc<Self> {
         let line = Arc::new(DelayLine {
-            queue: Mutex::new((BinaryHeap::new(), 0)),
+            queue: Mutex::new(BinaryHeap::new()),
+            seq: AtomicU64::new(0),
             wake: Condvar::new(),
         });
         let worker = Arc::clone(&line);
@@ -63,9 +70,14 @@ impl DelayLine {
         line
     }
 
+    /// The next tie-break sequence number; lock-free on purpose (see `seq`).
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     fn push(&self, item: DelayedSend) {
         let mut q = self.queue.lock().unwrap();
-        q.0.push(item);
+        q.push(item);
         self.wake.notify_one();
     }
 
@@ -73,15 +85,15 @@ impl DelayLine {
         let mut q = self.queue.lock().unwrap();
         loop {
             let now = Instant::now();
-            while q.0.peek().is_some_and(|d| d.due <= now) {
-                let d = q.0.pop().unwrap();
+            while q.peek().is_some_and(|d| d.due <= now) {
+                let d = q.pop().unwrap();
                 drop(q);
                 if d.tx.send(PeerEvent::Deliver(d.from, d.msg)).is_err() {
                     let _ = d.failures.send(PeerEvent::Failed(d.to));
                 }
                 q = self.queue.lock().unwrap();
             }
-            let next_due = q.0.peek().map(|d| d.due);
+            let next_due = q.peek().map(|d| d.due);
             q = match next_due {
                 Some(due) => self.wake.wait_timeout(q, due - now).unwrap().0,
                 None => self.wake.wait(q).unwrap(),
@@ -236,11 +248,7 @@ impl Transport {
                     }
                     Some((lo, hi)) => {
                         let delay_ms = rng.lock().unwrap().gen_range(lo..=hi);
-                        let seq = {
-                            let mut q = delay.queue.lock().unwrap();
-                            q.1 += 1;
-                            q.1
-                        };
+                        let seq = delay.next_seq();
                         delay.push(DelayedSend {
                             due: Instant::now() + Duration::from_millis(delay_ms),
                             seq,

@@ -1,5 +1,3 @@
-use std::collections::BinaryHeap;
-
 use autosel_core::fasthash::FastMap;
 use std::sync::Arc;
 
@@ -16,7 +14,9 @@ use rand::{Rng, SeedableRng};
 
 use autosel_core::fasthash::Fnv64;
 
+use crate::calendar::CalendarQueue;
 use crate::event::{EventKey, EventKind, Payload, QueuedEvent, ScheduledEvent};
+use crate::nodestore::NodeStore;
 use crate::faults::{FaultPlan, NodeEventKind};
 use crate::invariants::{InvariantChecker, InvariantViolation};
 use crate::metrics::LoadHistogram;
@@ -97,7 +97,10 @@ impl GossipHealth {
 pub struct SimCluster {
     space: Space,
     config: SimConfig,
-    nodes: FastMap<NodeId, SimNode>,
+    /// Per-node state, dense by id (ids are handed out contiguously and
+    /// restarts reuse them — see `nodestore`). Hot-path lookups are one
+    /// bounds-checked offset; a million nodes are one allocation.
+    nodes: NodeStore<SimNode>,
     /// Alive node ids, kept sorted ascending — maintained incrementally on
     /// every join/leave so the hot paths (`random_node`, oracle wiring,
     /// churn) never re-collect and re-sort the key set.
@@ -109,7 +112,7 @@ pub struct SimCluster {
     /// `SimNode`s. Ids arrive mostly ascending (fresh joins), so the
     /// sorted insert is an append in the common case.
     point_values: Vec<RawValue>,
-    queue: BinaryHeap<ScheduledEvent>,
+    queue: CalendarQueue,
     now: u64,
     seq: u64,
     next_id: NodeId,
@@ -148,10 +151,10 @@ impl SimCluster {
         SimCluster {
             space,
             config,
-            nodes: FastMap::default(),
+            nodes: NodeStore::default(),
             sorted_ids: Vec::new(),
             point_values: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: 0,
             seq: 0,
             next_id: 0,
@@ -595,7 +598,7 @@ impl SimCluster {
     }
 
     /// Iterates alive nodes' protocol state (internal: invariant checking).
-    pub(crate) fn selections_iter(&self) -> impl Iterator<Item = (&NodeId, &SelectionNode)> {
+    pub(crate) fn selections_iter(&self) -> impl Iterator<Item = (NodeId, &SelectionNode)> {
         self.nodes.iter().map(|(id, n)| (id, &n.selection))
     }
 
@@ -620,8 +623,8 @@ impl SimCluster {
     /// Processes events with firing time ≤ `t`, then advances the clock to
     /// `t`.
     pub fn run_until(&mut self, t: u64) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > t {
+        while let Some(at) = self.queue.peek_at() {
+            if at > t {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
@@ -673,8 +676,8 @@ impl SimCluster {
         t: u64,
         checker: &mut InvariantChecker,
     ) -> Result<(), InvariantViolation> {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > t {
+        while let Some(at) = self.queue.peek_at() {
+            if at > t {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
@@ -708,7 +711,7 @@ impl SimCluster {
     // event first simply models an adversarially slow network for the
     // others. These hooks expose that freedom to external schedulers and
     // to the `autosel-analyze` model checker without touching the default
-    // BinaryHeap hot path (whose digests are pinned).
+    // calendar-queue hot path (whose digests are pinned).
     // ------------------------------------------------------------------
 
     /// Snapshot of every queued event, ascending `(at, seq)`: index 0 is
@@ -728,14 +731,7 @@ impl SimCluster {
     /// Removes the event with handle `seq` from the queue (O(queue) — the
     /// exploration scenarios this serves are a handful of nodes).
     fn take_queued(&mut self, seq: u64) -> Option<ScheduledEvent> {
-        if !self.queue.iter().any(|e| e.seq == seq) {
-            return None;
-        }
-        let mut events = std::mem::take(&mut self.queue).into_vec();
-        let i = events.iter().position(|e| e.seq == seq).expect("checked present");
-        let ev = events.swap_remove(i);
-        self.queue = BinaryHeap::from(events);
-        Some(ev)
+        self.queue.remove_seq(seq)
     }
 
     /// Dispatches the queued event with handle `seq` *now*, regardless of
@@ -762,7 +758,7 @@ impl SimCluster {
     /// [`EventKey`].
     pub fn duplicate_queued(&mut self, seq: u64) -> Option<u64> {
         let (at, kind) = {
-            let ev = self.queue.iter().find(|e| e.seq == seq)?;
+            let ev = self.queue.find_seq(seq)?;
             (ev.at, ev.kind.clone())
         };
         self.seq += 1;

@@ -270,7 +270,7 @@ impl InvariantChecker {
         for (id, node) in cluster.selections_iter() {
             let pending = node.pending_len();
             if pending > 0 {
-                return Err(InvariantViolation::LeakedPending { node: *id, pending });
+                return Err(InvariantViolation::LeakedPending { node: id, pending });
             }
         }
         if self.mode == Mode::Strict {
@@ -291,7 +291,7 @@ impl InvariantChecker {
         let mut upstream: FastMap<QueryId, FastMap<NodeId, Option<NodeId>>> = FastMap::default();
         for (id, node) in cluster.selections_iter() {
             for (qid, up) in node.pending_upstreams() {
-                upstream.entry(qid).or_default().insert(*id, up);
+                upstream.entry(qid).or_default().insert(id, up);
             }
         }
         for (qid, edges) in &upstream {

@@ -56,11 +56,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod calendar;
 mod cluster;
 mod config;
 mod event;
 mod metrics;
 mod network;
+mod nodestore;
 pub mod ablation;
 pub mod faults;
 pub mod invariants;
