@@ -11,6 +11,7 @@
 //! | `thread-sleep-in-tests` | test code | sleeping makes tests flaky-slow; poll with the `wait_until` helper instead |
 //! | `unwrap-in-protocol` | `core/src/node.rs`, `core/src/routing.rs` | these files define the protocol invariants — every panic site must state the invariant it relies on (`expect`), tests included, since test panics are how invariant breakage first surfaces |
 //! | `obs-schema` | `crates/obs/src/event.rs`, non-test | the trace JSON schema is closed (docs/OBSERVABILITY.md); a new key or event kind must be added to the schema table deliberately, not leak in via a string literal |
+//! | `unbounded-channel` | `crates/net/src`, non-test | bounded inboxes are the load-survival invariant: every peer queue is `mpsc::sync_channel` with drop-on-full accounting, so an unbounded `mpsc::channel()` reintroduces the memory blow-up and hides backpressure the netload bench is meant to surface |
 //!
 //! The scanner is hand-rolled (no syn, no regex — the crate has zero
 //! external dependencies): comments and string literals are masked out of
@@ -41,17 +42,20 @@ pub enum Rule {
     UnwrapInProtocol,
     /// A JSON key or event kind outside the closed obs schema.
     ObsSchema,
+    /// Unbounded `mpsc::channel()` in the live runtime's non-test code.
+    UnboundedChannel,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::StdCollections,
         Rule::BinaryHeap,
         Rule::WallClock,
         Rule::ThreadSleepInTests,
         Rule::UnwrapInProtocol,
         Rule::ObsSchema,
+        Rule::UnboundedChannel,
     ];
 
     /// The rule's stable name (used in pragmas and reports).
@@ -63,6 +67,7 @@ impl Rule {
             Rule::ThreadSleepInTests => "thread-sleep-in-tests",
             Rule::UnwrapInProtocol => "unwrap-in-protocol",
             Rule::ObsSchema => "obs-schema",
+            Rule::UnboundedChannel => "unbounded-channel",
         }
     }
 }
@@ -387,6 +392,7 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
     let in_core_or_sim =
         relpath.starts_with("crates/core/src") || relpath.starts_with("crates/sim/src");
     let in_net = relpath.starts_with("crates/net");
+    let in_net_src = relpath.starts_with("crates/net/src");
     let protocol_file =
         relpath == "crates/core/src/node.rs" || relpath == "crates/core/src/routing.rs";
     let obs_event_file = relpath == "crates/obs/src/event.rs";
@@ -412,6 +418,11 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         }
         if protocol_file && code_line.contains(".unwrap()") {
             push(Rule::UnwrapInProtocol, line, &scanned);
+        }
+        // Matched as a qualified path (`mpsc::channel`), which is how the
+        // runtime spells it everywhere; `sync_channel` cannot collide.
+        if in_net_src && !in_test && has_token(code_line, "mpsc::channel") {
+            push(Rule::UnboundedChannel, line, &scanned);
         }
     }
 
@@ -568,6 +579,29 @@ mod tests {
         assert!(rules_hit("crates/obs/src/event.rs", test_src).is_empty());
         // Other obs files are out of scope.
         assert!(rules_hit("crates/obs/src/json.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_channel_flagged_in_net_runtime_only() {
+        let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u64>(); }\n";
+        assert!(
+            rules_hit("crates/net/src/peer.rs", src).contains(&Rule::UnboundedChannel),
+            "positive match required"
+        );
+        let call = "use std::sync::mpsc;\nfn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert!(rules_hit("crates/net/src/cluster.rs", call).contains(&Rule::UnboundedChannel));
+        // Bounded inboxes are the sanctioned form…
+        let bounded = "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(64); }\n";
+        assert!(rules_hit("crates/net/src/peer.rs", bounded).is_empty());
+        // …test code may use whatever is convenient…
+        assert!(rules_hit("crates/net/tests/live.rs", src).is_empty());
+        let module = "#[cfg(test)]\nmod tests {\n    fn f() { let p = std::sync::mpsc::channel::<u8>(); }\n}\n";
+        assert!(rules_hit("crates/net/src/transport.rs", module).is_empty());
+        // …other crates are out of scope (the simulator has no threads)…
+        assert!(rules_hit("crates/sim/src/cluster.rs", src).is_empty());
+        // …and a reasoned pragma still escapes.
+        let allowed = "// lint:allow(unbounded-channel) — shutdown path, ≤1 message ever\nfn f() { let p = std::sync::mpsc::channel::<u8>(); }\n";
+        assert!(rules_hit("crates/net/src/x.rs", allowed).is_empty());
     }
 
     #[test]

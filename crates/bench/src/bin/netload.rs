@@ -1,0 +1,345 @@
+//! `netload` — open-loop load generation against a live [`NetCluster`],
+//! recorded in `BENCH_net.json`.
+//!
+//! The paper's deployments (DAS, PlanetLab) demonstrated *correctness*
+//! under real threads and sockets; this harness measures the runtime under
+//! sustained load, the missing half of ROADMAP item 2. Arrivals are
+//! **open-loop Poisson** at a configured offered rate — inter-arrival gaps
+//! drawn as `−ln(1−U)/λ` — so a cluster that falls behind accumulates
+//! backlog instead of silently throttling the generator (the coordinated-
+//! omission trap of closed-loop harnesses). Queries are issued through the
+//! non-blocking [`NetCluster::begin_query`] ticket API; one issuing thread
+//! sustains thousands of in-flight queries.
+//!
+//! All latency figures are sourced from **windowed obs snapshots**: each
+//! completion is recorded into a [`Registry`] built with a window covering
+//! the measure phase, and the reported p50/p99/p999 are
+//! `Histogram::quantile` readings off `window_snapshot()` — the same
+//! code path a production dashboard would poll.
+//!
+//! A [`FlightRecorder`] rides along in the observer fanout; with
+//! `--kill <fraction>` the harness kills that fraction of nodes at the
+//! measure midpoint and `--flight-out <path>` dumps the recorder's last K
+//! events around the fault as parseable trace JSONL.
+//!
+//! Environment (mirroring `sweepbench`): `AUTOSEL_NETLOAD_NODES` (60),
+//! `AUTOSEL_NETLOAD_RATE` offered qps (25), `AUTOSEL_NETLOAD_WARMUP_MS`
+//! (3000), `AUTOSEL_NETLOAD_MEASURE_MS` (5000),
+//! `AUTOSEL_NETLOAD_TIMEOUT_MS` per-query deadline (15000),
+//! `AUTOSEL_NETLOAD_SIGMA` (8), `AUTOSEL_NETLOAD_SEED` (42),
+//! `AUTOSEL_NETLOAD_TAG` (current), `AUTOSEL_NETLOAD_OUT`
+//! (BENCH_net.json).
+//!
+//! `--check` exits non-zero unless the artifact is well-formed, something
+//! completed, the completion ratio is ≥ 50%, no issue errors occurred, and
+//! the reported quantiles are monotone (p50 ≤ p99 ≤ p999 ≤ max).
+//!
+//! ```text
+//! AUTOSEL_NETLOAD_NODES=40 AUTOSEL_NETLOAD_RATE=10 \
+//!   cargo run --release -p bench --bin netload -- --check
+//! ```
+
+// lint:allow-file(wall-clock) — the live runtime runs on real time; wall
+// clock is the instrument here, not a leak into simulated time.
+// lint:allow-file(thread-sleep-in-tests) — not a test: the generator
+// paces real arrivals.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use attrspace::{Point, Query, Space};
+use autosel_net::{NetCluster, NetConfig, QueryTicket, Transport};
+use autosel_obs::{Fanout, FlightRecorder, ObsHandle, Registry, WindowSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SCHEMA: &str = "autosel/bench-net/v1";
+/// Flight-recorder ring size: enough context around a fault without
+/// unbounded growth.
+const FLIGHT_CAPACITY: usize = 2_048;
+/// `--check` fails below this completed/issued ratio.
+const MIN_COMPLETION: f64 = 0.5;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn points(space: &Space, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let vals: Vec<u64> =
+                (0..space.dims()).map(|_| rng.gen_range(0..80)).collect();
+            space.point(&vals).unwrap()
+        })
+        .collect()
+}
+
+/// One in-flight query: its ticket and issue instant.
+struct Inflight {
+    ticket: QueryTicket,
+    issued: Instant,
+}
+
+/// Tallies accumulated by the measure phase.
+#[derive(Default)]
+struct Tally {
+    issued: u64,
+    completed: u64,
+    timeouts: u64,
+    errors: u64,
+    delivery_sum: f64,
+}
+
+/// Drains completed and timed-out tickets from `outstanding`, recording
+/// completion latencies into the windowed registry at `now_ms` since `t0`.
+fn sweep(
+    outstanding: &mut Vec<Inflight>,
+    registry: &Registry,
+    t0: Instant,
+    timeout: Duration,
+    tally: &mut Tally,
+) {
+    outstanding.retain(|f| {
+        if let Some(outcome) = f.ticket.try_outcome() {
+            let now_ms = t0.elapsed().as_millis() as u64;
+            let latency_ms = f.issued.elapsed().as_millis() as u64;
+            registry.record_at("net.query.latency_ms", latency_ms, now_ms);
+            registry.add_at("net.queries.completed", 1, now_ms);
+            tally.completed += 1;
+            tally.delivery_sum += outcome.delivery();
+            return false;
+        }
+        if f.issued.elapsed() >= timeout {
+            let now_ms = t0.elapsed().as_millis() as u64;
+            registry.add_at("net.queries.timeout", 1, now_ms);
+            tally.timeouts += 1;
+            return false;
+        }
+        true
+    });
+}
+
+#[allow(clippy::too_many_lines)] // one linear harness: setup → load → report
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    let kill_fraction: f64 =
+        arg_value(&args, "--kill").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let flight_out = arg_value(&args, "--flight-out");
+
+    let nodes = env_u64("AUTOSEL_NETLOAD_NODES", 60) as usize;
+    let rate = env_f64("AUTOSEL_NETLOAD_RATE", 25.0).max(0.1);
+    let warmup_ms = env_u64("AUTOSEL_NETLOAD_WARMUP_MS", 3_000);
+    let measure_ms = env_u64("AUTOSEL_NETLOAD_MEASURE_MS", 5_000);
+    let timeout_ms = env_u64("AUTOSEL_NETLOAD_TIMEOUT_MS", 15_000);
+    let sigma = env_u64("AUTOSEL_NETLOAD_SIGMA", 8) as u32;
+    let seed = env_u64("AUTOSEL_NETLOAD_SEED", 42);
+    let tag = std::env::var("AUTOSEL_NETLOAD_TAG").unwrap_or_else(|_| "current".into());
+    let out_path =
+        std::env::var("AUTOSEL_NETLOAD_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+
+    // Window covering the whole run (warmup + measure + drain) so the final
+    // snapshot's quantiles see every measured completion.
+    let span_ms = warmup_ms + measure_ms + timeout_ms + 1_000;
+    let registry = Arc::new(Registry::with_windows(WindowSpec::covering(span_ms, 64)));
+    let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+    let mut fan = Fanout::new();
+    fan.push(Arc::clone(&registry) as Arc<dyn autosel_obs::Observer>);
+    fan.push(Arc::clone(&flight) as Arc<dyn autosel_obs::Observer>);
+
+    let space = Space::uniform(3, 80, 3).expect("space");
+    let cfg = NetConfig::default();
+    let t0 = Instant::now();
+    let mut cluster = NetCluster::spawn_observed(
+        space.clone(),
+        points(&space, nodes, seed),
+        cfg.clone(),
+        Transport::mem(cfg.injected_latency_ms),
+        seed,
+        ObsHandle::of(fan),
+    )
+    .expect("spawn cluster");
+
+    // ---- warmup: let gossip route the overlay, bounded by the budget.
+    eprintln!("[netload] warming up ({nodes} nodes, ≤{warmup_ms} ms)…");
+    let warmup_deadline = t0 + Duration::from_millis(warmup_ms);
+    while Instant::now() < warmup_deadline {
+        if cluster.mean_links() >= 1.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // ---- measure: open-loop Poisson arrivals at `rate` qps.
+    eprintln!("[netload] measuring: offered {rate:.1} qps for {measure_ms} ms…");
+    let query = Query::builder(&space).min("a0", 40).build().expect("query");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x04E7_10AD);
+    let timeout = Duration::from_millis(timeout_ms);
+    let measure_start = Instant::now();
+    let measure_dur = Duration::from_millis(measure_ms);
+    let mut next_arrival_s = 0.0f64;
+    let mut outstanding: Vec<Inflight> = Vec::new();
+    let mut tally = Tally::default();
+    let mut killed: Vec<u64> = Vec::new();
+    while measure_start.elapsed() < measure_dur {
+        if kill_fraction > 0.0
+            && killed.is_empty()
+            && measure_start.elapsed() >= measure_dur / 2
+        {
+            killed = cluster.kill_fraction(kill_fraction);
+            eprintln!("[netload] injected fault: killed {} nodes", killed.len());
+        }
+        let now_s = measure_start.elapsed().as_secs_f64();
+        if now_s >= next_arrival_s {
+            let origin = cluster.random_node();
+            tally.issued += 1;
+            registry.add_at(
+                "net.queries.issued",
+                1,
+                t0.elapsed().as_millis() as u64,
+            );
+            match cluster.begin_query(origin, query.clone(), Some(sigma)) {
+                Some(ticket) => {
+                    outstanding.push(Inflight { ticket, issued: Instant::now() });
+                }
+                None => tally.errors += 1,
+            }
+            let u: f64 = rng.gen_range(0.0..1.0);
+            next_arrival_s += -(1.0 - u).ln() / rate;
+            continue; // catch up on bursts before sleeping
+        }
+        sweep(&mut outstanding, &registry, t0, timeout, &mut tally);
+        let gap = Duration::from_secs_f64((next_arrival_s - now_s).max(0.0));
+        std::thread::sleep(gap.min(Duration::from_millis(5)));
+    }
+
+    // ---- drain: everything issued gets its full timeout to complete.
+    let drain_deadline = Instant::now() + timeout;
+    while !outstanding.is_empty() && Instant::now() < drain_deadline {
+        sweep(&mut outstanding, &registry, t0, timeout, &mut tally);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    tally.timeouts += outstanding.len() as u64;
+    drop(outstanding);
+
+    // ---- snapshot: rates and quantiles from the windowed registry.
+    let now_ms = t0.elapsed().as_millis() as u64;
+    let snapshot = registry.window_snapshot(now_ms);
+    let latency = registry
+        .window_histogram("net.query.latency_ms", now_ms)
+        .unwrap_or_default();
+    let (p50, p99, p999) =
+        (latency.quantile(0.50), latency.quantile(0.99), latency.quantile(0.999));
+    let achieved_qps = tally.completed as f64 * 1e3 / measure_ms as f64;
+    let mean_delivery = if tally.completed == 0 {
+        0.0
+    } else {
+        tally.delivery_sum / tally.completed as f64
+    };
+    let inbox_dropped: u64 = cluster.inbox_stats().values().map(|s| s.dropped).sum();
+    let (gossip_random, gossip_semantic) = cluster.gossip_health();
+
+    println!("{}", snapshot.render());
+    println!(
+        "offered {rate:.1} qps, achieved {achieved_qps:.1} qps ({} issued, {} completed, {} timeouts, {} errors)",
+        tally.issued, tally.completed, tally.timeouts, tally.errors
+    );
+    println!(
+        "reply latency: p50 {p50:.1} ms, p99 {p99:.1} ms, p999 {p999:.1} ms, max {} ms",
+        latency.max()
+    );
+
+    // ---- flight dump around the injected fault (or on demand).
+    if let Some(path) = &flight_out {
+        let mut f = std::fs::File::create(path).expect("create flight dump");
+        let lines = flight.dump_jsonl(&mut f).expect("write flight dump");
+        println!(
+            "flight recorder: dumped last {lines} of {} events to {path} ({} dropped by ring)",
+            flight.total_seen(),
+            flight.dropped()
+        );
+    }
+
+    cluster.shutdown();
+
+    // ---- merge with existing entries (other tags survive) and write.
+    let entry = format!(
+        "{{\"tag\":\"{}\",\"kind\":\"load\",\"transport\":\"mem\",\"nodes\":{nodes},\"offered_qps\":{rate:.2},\"achieved_qps\":{achieved_qps:.2},\"warmup_ms\":{warmup_ms},\"measure_ms\":{measure_ms},\"sigma\":{sigma},\"seed\":{seed},\"issued\":{},\"completed\":{},\"timeouts\":{},\"errors\":{},\"killed\":{},\"p50_ms\":{p50:.2},\"p99_ms\":{p99:.2},\"p999_ms\":{p999:.2},\"max_ms\":{},\"mean_delivery\":{mean_delivery:.4},\"inbox_dropped\":{inbox_dropped},\"gossip_links_random\":{},\"gossip_links_semantic\":{},\"window_span_ms\":{}}}",
+        tag.replace('\\', "\\\\").replace('"', "\\\""),
+        tally.issued,
+        tally.completed,
+        tally.timeouts,
+        tally.errors,
+        killed.len(),
+        latency.max(),
+        gossip_random.links,
+        gossip_semantic.links,
+        snapshot.span_ms,
+    );
+    let tag_marker = format!("{{\"tag\":\"{}\"", tag.replace('\\', "\\\\").replace('"', "\\\""));
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(&out_path) {
+        for line in prev.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with("{\"tag\":") && !line.starts_with(&tag_marker) {
+                kept.push(line.to_string());
+            }
+        }
+    }
+    kept.push(entry);
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_net.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "\"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(f, "\"entries\": [").unwrap();
+    for (i, e) in kept.iter().enumerate() {
+        let comma = if i + 1 < kept.len() { "," } else { "" };
+        writeln!(f, "{e}{comma}").unwrap();
+    }
+    writeln!(f, "]").unwrap();
+    writeln!(f, "}}").unwrap();
+    drop(f);
+    println!("wrote {} ({} entries)", out_path, kept.len());
+
+    // ---- --check: validate the artifact and this run's gates.
+    if check_mode {
+        let body = std::fs::read_to_string(&out_path).expect("re-read BENCH_net.json");
+        let well_formed = body.contains(SCHEMA)
+            && body.contains("\"entries\": [")
+            && body.lines().filter(|l| l.starts_with("{\"tag\":")).count() == kept.len()
+            && body.trim_end().ends_with('}');
+        if !well_formed {
+            eprintln!("--check FAILED: {out_path} is malformed");
+            std::process::exit(1);
+        }
+        if tally.completed == 0 {
+            eprintln!("--check FAILED: no query completed");
+            std::process::exit(1);
+        }
+        if tally.errors > 0 {
+            eprintln!("--check FAILED: {} issue errors", tally.errors);
+            std::process::exit(1);
+        }
+        let completion = tally.completed as f64 / tally.issued.max(1) as f64;
+        // A fault-injection run legitimately times out the victims' trees;
+        // only gate completion on clean runs.
+        if killed.is_empty() && completion < MIN_COMPLETION {
+            eprintln!("--check FAILED: completion ratio {completion:.2} < {MIN_COMPLETION}");
+            std::process::exit(1);
+        }
+        if !(p50 <= p99 && p99 <= p999 && p999 <= latency.max() as f64) {
+            eprintln!("--check FAILED: quantiles not monotone: {p50} / {p99} / {p999}");
+            std::process::exit(1);
+        }
+        println!("--check OK: well-formed, {completion:.2} completion, quantiles monotone");
+    }
+}

@@ -4,17 +4,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
-use autosel_core::Match;
+use autosel_core::{Match, QueryId};
 use autosel_obs::{Event, ObsHandle};
 use epigossip::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::peer::{Command, PeerCounters, PeerEvent, PeerTask};
+use crate::peer::{Command, InboxSender, PeerCounters, PeerEvent, PeerTask};
 use crate::{NetConfig, Transport};
 
 struct PeerHandle {
-    events: mpsc::Sender<PeerEvent>,
+    events: InboxSender,
     counters: Arc<PeerCounters>,
     point: Point,
     thread: Option<JoinHandle<()>>,
@@ -39,6 +39,74 @@ impl QueryOutcome {
             self.matches.len() as f64 / self.truth as f64
         }
     }
+}
+
+/// A query in flight, issued by [`NetCluster::begin_query`]. Holds the
+/// completion channel; poll with [`try_outcome`](Self::try_outcome) (load
+/// generators juggling many tickets) or block with [`wait`](Self::wait).
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<(QueryId, Vec<Match>)>,
+    truth: usize,
+}
+
+impl QueryTicket {
+    /// Nodes matching the query at issue time.
+    pub fn truth(&self) -> usize {
+        self.truth
+    }
+
+    /// The outcome if the query has completed, `None` while still in
+    /// flight. Ready at most once; later polls return `None` again.
+    pub fn try_outcome(&self) -> Option<QueryOutcome> {
+        let (_, matches) = self.rx.try_recv().ok()?;
+        Some(QueryOutcome { matches, truth: self.truth })
+    }
+
+    /// Blocks until completion or `timeout`.
+    pub fn wait(self, timeout: Duration) -> Option<QueryOutcome> {
+        let (_, matches) = self.rx.recv_timeout(timeout).ok()?;
+        Some(QueryOutcome { matches, truth: self.truth })
+    }
+}
+
+/// Aggregate view health of one gossip layer across a live cluster, read
+/// from the peers' published gauges — the wall-clock mirror of the
+/// simulator's `gossip_health()` reading (same fields, same fixed-point
+/// scaling), so soak-style health bounds apply to deployments too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipHealth {
+    /// Peers that have published at least one gossip round.
+    pub nodes: u64,
+    /// Total view entries across those peers.
+    pub links: u64,
+    /// Sum over peers of per-view mean descriptor age, in thousandths.
+    pub age_sum_x1000: u64,
+    /// Total view turnover (entries ever admitted).
+    pub turnover: u64,
+}
+
+impl GossipHealth {
+    /// Mean view size in thousandths (0 when no peer has gossiped).
+    pub fn mean_view_size_x1000(&self) -> u64 {
+        (self.links * 1000).checked_div(self.nodes).unwrap_or(0)
+    }
+
+    /// Mean of the per-peer mean descriptor ages, in thousandths.
+    pub fn mean_age_x1000(&self) -> u64 {
+        self.age_sum_x1000.checked_div(self.nodes).unwrap_or(0)
+    }
+}
+
+/// One peer's inbox gauge: current queue depth and deliveries dropped by
+/// the bounded inbox since spawn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InboxStats {
+    /// Events queued right now (clamped at zero; enqueue/dequeue races
+    /// make the instantaneous reading approximate by ±1).
+    pub depth: u64,
+    /// Deliveries dropped because the inbox was full.
+    pub dropped: u64,
 }
 
 /// A live population of overlay nodes, one thread per node.
@@ -134,7 +202,7 @@ impl NetCluster {
                     let point = cluster.peers[&other].point.clone();
                     let _ = cluster.peers[&id]
                         .events
-                        .send(PeerEvent::Command(Command::Introduce(other, point)));
+                        .send_blocking(PeerEvent::Command(Command::Introduce(other, point)));
                 }
             }
         }
@@ -148,9 +216,10 @@ impl NetCluster {
         config: &NetConfig,
         started: Instant,
     ) -> std::io::Result<()> {
-        let (events_tx, events_rx) = mpsc::channel();
-        self.transport.register(id, events_tx.clone())?;
+        let (tx, events_rx) = mpsc::sync_channel(config.inbox_capacity);
         let counters = Arc::new(PeerCounters::default());
+        let events_tx = InboxSender::new(tx, Arc::clone(&counters));
+        self.transport.register(id, events_tx.clone())?;
         let task = PeerTask::new(
             id,
             &self.space,
@@ -201,6 +270,32 @@ impl NetCluster {
         ids[self.rng.gen_range(0..ids.len())]
     }
 
+    /// Issues `query` at `origin` without waiting: returns a
+    /// [`QueryTicket`] whose channel the origin completes into. The
+    /// non-blocking form load generators need — thousands of queries can
+    /// be in flight from one issuing thread. Returns `None` if the origin
+    /// is dead.
+    pub fn begin_query(
+        &mut self,
+        origin: NodeId,
+        query: Query,
+        sigma: Option<u32>,
+    ) -> Option<QueryTicket> {
+        let truth = self
+            .peers
+            .values()
+            .filter(|p| query.matches(&p.point))
+            .count();
+        // Rendezvous bound of 1: each query completes exactly once.
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.peers
+            .get(&origin)?
+            .events
+            .send_blocking(PeerEvent::Command(Command::BeginQuery { query, sigma, reply: tx }))
+            .ok()?;
+        Some(QueryTicket { rx, truth })
+    }
+
     /// Issues `query` at `origin` and waits for completion (bounded by
     /// `timeout`). Returns `None` on timeout or if the origin died.
     pub fn query(
@@ -210,30 +305,18 @@ impl NetCluster {
         sigma: Option<u32>,
         timeout: Duration,
     ) -> Option<QueryOutcome> {
-        let truth = self
-            .peers
-            .values()
-            .filter(|p| query.matches(&p.point))
-            .count();
-        let (tx, rx) = mpsc::channel();
-        self.peers
-            .get(&origin)?
-            .events
-            .send(PeerEvent::Command(Command::BeginQuery { query, sigma, reply: tx }))
-            .ok()?;
-        let (_, matches) = rx.recv_timeout(timeout).ok()?;
-        Some(QueryOutcome { matches, truth })
+        self.begin_query(origin, query, sigma)?.wait(timeout)
     }
 
     /// Runs a *count-only* query at `origin`: the answer is a single exact
     /// integer aggregated along the traversal tree (constant-size replies).
     /// Returns `None` on timeout or a dead origin.
     pub fn count(&mut self, origin: NodeId, query: Query, timeout: Duration) -> Option<u64> {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(1);
         self.peers
             .get(&origin)?
             .events
-            .send(PeerEvent::Command(Command::BeginCount { query, reply: tx }))
+            .send_blocking(PeerEvent::Command(Command::BeginCount { query, reply: tx }))
             .ok()?;
         rx.recv_timeout(timeout).ok()
     }
@@ -242,7 +325,7 @@ impl NetCluster {
     /// goodbye is gossiped.
     pub fn kill(&mut self, id: NodeId) {
         if let Some(p) = self.peers.remove(&id) {
-            let _ = p.events.send(PeerEvent::Command(Command::Shutdown));
+            let _ = p.events.send_blocking(PeerEvent::Command(Command::Shutdown));
             self.transport.deregister(id);
             drop(p.thread); // detach; the thread exits on the shutdown command
             self.obs.emit(|| Event::NodeCrashed {
@@ -307,6 +390,47 @@ impl NetCluster {
         total as f64 / self.peers.len() as f64
     }
 
+    /// Point-in-time gossip-health reading of `(random, semantic)` layers
+    /// across alive peers, aggregated from the gauges each peer publishes
+    /// after its gossip rounds. Peers that have not completed a first
+    /// round yet (all-zero gauges) still count as nodes, matching the
+    /// simulator's treatment of a quiet stack.
+    pub fn gossip_health(&self) -> (GossipHealth, GossipHealth) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut random = GossipHealth::default();
+        let mut semantic = GossipHealth::default();
+        for p in self.peers.values() {
+            let c = &p.counters;
+            random.nodes += 1;
+            random.links += c.view_random.load(Relaxed);
+            random.age_sum_x1000 += c.age_random_x1000.load(Relaxed);
+            random.turnover += c.turnover_random.load(Relaxed);
+            semantic.nodes += 1;
+            semantic.links += c.view_semantic.load(Relaxed);
+            semantic.age_sum_x1000 += c.age_semantic_x1000.load(Relaxed);
+            semantic.turnover += c.turnover_semantic.load(Relaxed);
+        }
+        (random, semantic)
+    }
+
+    /// Per-peer inbox gauges: instantaneous queue depth and total
+    /// deliveries dropped by the bounded inbox.
+    pub fn inbox_stats(&self) -> HashMap<NodeId, InboxStats> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.peers
+            .iter()
+            .map(|(&id, p)| {
+                (
+                    id,
+                    InboxStats {
+                        depth: p.counters.inbox_depth.load(Relaxed).max(0) as u64,
+                        dropped: p.counters.inbox_dropped.load(Relaxed),
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// The attribute values of `id`, if alive.
     pub fn point_of(&self, id: NodeId) -> Option<&Point> {
         self.peers.get(&id).map(|p| &p.point)
@@ -318,7 +442,7 @@ impl NetCluster {
         let mut threads = Vec::new();
         for id in ids {
             if let Some(mut p) = self.peers.remove(&id) {
-                let _ = p.events.send(PeerEvent::Command(Command::Shutdown));
+                let _ = p.events.send_blocking(PeerEvent::Command(Command::Shutdown));
                 self.transport.deregister(id);
                 if let Some(t) = p.thread.take() {
                     threads.push(t);

@@ -16,6 +16,10 @@ pub struct NetConfig {
     pub injected_latency_ms: Option<(u64, u64)>,
     /// How many random existing peers a new node is introduced to.
     pub bootstrap_degree: usize,
+    /// Bound on each peer's event inbox. Peer traffic beyond it is dropped
+    /// (and counted), like network loss — the load-survival invariant that
+    /// keeps a saturated node's memory flat instead of queueing unboundedly.
+    pub inbox_capacity: usize,
 }
 
 impl Default for NetConfig {
@@ -30,6 +34,7 @@ impl Default for NetConfig {
             poll_interval_ms: 20,
             injected_latency_ms: Some((1, 5)),
             bootstrap_degree: 3,
+            inbox_capacity: 4_096,
         }
     }
 }
@@ -47,6 +52,7 @@ impl NetConfig {
             assert!(lo <= hi, "latency bounds inverted");
         }
         assert!(self.bootstrap_degree > 0, "need at least one bootstrap seed");
+        assert!(self.inbox_capacity > 0, "inbox capacity must be positive");
     }
 }
 

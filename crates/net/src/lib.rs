@@ -30,7 +30,7 @@ mod peer;
 mod transport;
 pub mod wire;
 
-pub use cluster::{NetCluster, QueryOutcome};
+pub use cluster::{GossipHealth, InboxStats, NetCluster, QueryOutcome, QueryTicket};
 pub use config::NetConfig;
 pub use peer::NetMessage;
 pub use transport::Transport;

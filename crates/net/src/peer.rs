@@ -1,5 +1,5 @@
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -22,16 +22,19 @@ pub enum NetMessage {
 }
 
 /// Commands a peer accepts from its [`NetCluster`](crate::NetCluster) handle.
+///
+/// Reply channels are rendezvous-bounded (`sync_channel(1)`): a peer sends
+/// exactly one completion per issued query, so the bound can never block it.
 #[derive(Debug)]
 pub(crate) enum Command {
     BeginQuery {
         query: Query,
         sigma: Option<u32>,
-        reply: mpsc::Sender<(QueryId, Vec<Match>)>,
+        reply: mpsc::SyncSender<(QueryId, Vec<Match>)>,
     },
     BeginCount {
         query: Query,
-        reply: mpsc::Sender<u64>,
+        reply: mpsc::SyncSender<u64>,
     },
     Introduce(NodeId, Point),
     Shutdown,
@@ -57,6 +60,84 @@ pub(crate) struct PeerCounters {
     /// Routing-table link count, published after every view sync — a cheap
     /// convergence gauge tests can poll instead of sleeping a fixed warm-up.
     pub links: AtomicU64,
+    /// Events currently queued in this peer's inbox. Signed because the
+    /// enqueue increment and dequeue decrement race benignly; readers clamp
+    /// at zero.
+    pub inbox_depth: AtomicI64,
+    /// Deliveries dropped because the bounded inbox was full. The protocol
+    /// absorbs these like network loss: timeouts retry or amputate.
+    pub inbox_dropped: AtomicU64,
+    /// Gossip-health gauges, published after every gossip round —
+    /// per-layer view size, mean descriptor age (×1000) and cumulative
+    /// turnover, mirroring the simulator's `gossip_health()` reading so
+    /// soak-style bounds can be asserted on live clusters.
+    pub view_random: AtomicU64,
+    pub view_semantic: AtomicU64,
+    pub age_random_x1000: AtomicU64,
+    pub age_semantic_x1000: AtomicU64,
+    pub turnover_random: AtomicU64,
+    pub turnover_semantic: AtomicU64,
+}
+
+/// The sending half of a peer's *bounded* inbox plus the shared counters of
+/// the peer it feeds — the only way crate code enqueues a [`PeerEvent`].
+///
+/// Two disciplines, by message class:
+///
+/// * [`try_deliver`](Self::try_deliver) — peer traffic (deliveries,
+///   fail-fast feedback). Never blocks: a full inbox **drops** the event
+///   and counts it, because backpressure between peer threads would
+///   propagate into distributed deadlock, while the protocol already
+///   survives loss via timeouts.
+/// * [`send_blocking`](Self::send_blocking) — cluster-handle control
+///   commands (queries, introductions, shutdown). These must not be lost,
+///   come from outside the peer mesh, and are low-rate, so blocking on a
+///   saturated inbox is safe and correct.
+#[derive(Debug, Clone)]
+pub(crate) struct InboxSender {
+    tx: mpsc::SyncSender<PeerEvent>,
+    counters: Arc<PeerCounters>,
+}
+
+impl InboxSender {
+    pub(crate) fn new(tx: mpsc::SyncSender<PeerEvent>, counters: Arc<PeerCounters>) -> Self {
+        InboxSender { tx, counters }
+    }
+
+    /// A bounded inbox plus its receiver, with fresh counters (tests and
+    /// transport unit checks).
+    #[cfg(test)]
+    pub(crate) fn test_pair(capacity: usize) -> (Self, mpsc::Receiver<PeerEvent>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (InboxSender::new(tx, Arc::new(PeerCounters::default())), rx)
+    }
+
+    /// Non-blocking delivery for peer traffic; a full inbox drops the event
+    /// (counted in `inbox_dropped`). `Err` means the peer is gone.
+    pub(crate) fn try_deliver(&self, event: PeerEvent) -> Result<(), ()> {
+        match self.tx.try_send(event) {
+            Ok(()) => {
+                self.counters.inbox_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.counters.inbox_dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(()),
+        }
+    }
+
+    /// Blocking send for control commands; `Err` means the peer is gone.
+    pub(crate) fn send_blocking(&self, event: PeerEvent) -> Result<(), ()> {
+        match self.tx.send(event) {
+            Ok(()) => {
+                self.counters.inbox_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
 }
 
 pub(crate) struct PeerTask {
@@ -66,13 +147,13 @@ pub(crate) struct PeerTask {
     transport: Transport,
     events: mpsc::Receiver<PeerEvent>,
     /// Own sender, handed to the transport for fail-fast feedback.
-    events_tx: mpsc::Sender<PeerEvent>,
+    events_tx: InboxSender,
     config: NetConfig,
     counters: Arc<PeerCounters>,
     started: Instant,
     rng: SmallRng,
-    pending_queries: HashMap<QueryId, mpsc::Sender<(QueryId, Vec<Match>)>>,
-    pending_counts: HashMap<QueryId, mpsc::Sender<u64>>,
+    pending_queries: HashMap<QueryId, mpsc::SyncSender<(QueryId, Vec<Match>)>>,
+    pending_counts: HashMap<QueryId, mpsc::SyncSender<u64>>,
 }
 
 impl PeerTask {
@@ -84,7 +165,7 @@ impl PeerTask {
         config: NetConfig,
         transport: Transport,
         events: mpsc::Receiver<PeerEvent>,
-        events_tx: mpsc::Sender<PeerEvent>,
+        events_tx: InboxSender,
         counters: Arc<PeerCounters>,
         started: Instant,
         obs: ObsHandle,
@@ -139,6 +220,21 @@ impl PeerTask {
         }
     }
 
+    /// Publishes the per-layer gossip-health gauges (view size, mean
+    /// descriptor age, turnover) — one store per field, read by
+    /// [`NetCluster::gossip_health`](crate::NetCluster::gossip_health).
+    fn publish_gossip_gauges(&self) {
+        let c = &*self.counters;
+        let random = self.gossip.random_view();
+        let semantic = self.gossip.semantic_view();
+        c.view_random.store(random.len() as u64, Ordering::Relaxed);
+        c.view_semantic.store(semantic.len() as u64, Ordering::Relaxed);
+        c.age_random_x1000.store(random.mean_age_x1000(), Ordering::Relaxed);
+        c.age_semantic_x1000.store(semantic.mean_age_x1000(), Ordering::Relaxed);
+        c.turnover_random.store(random.turnover(), Ordering::Relaxed);
+        c.turnover_semantic.store(semantic.turnover(), Ordering::Relaxed);
+    }
+
     fn do_gossip(&mut self) {
         let now = self.now();
         let msgs = self.gossip.tick(now, &mut self.rng);
@@ -147,6 +243,7 @@ impl PeerTask {
         self.counters
             .links
             .store(self.selection.routing().link_count() as u64, Ordering::Relaxed);
+        self.publish_gossip_gauges();
         for (to, m) in msgs {
             self.send(to, NetMessage::Gossip(m));
         }
@@ -223,7 +320,11 @@ impl PeerTask {
                 continue;
             }
             let wait = next_gossip.min(next_poll) - now;
-            match self.events.recv_timeout(wait) {
+            let event = self.events.recv_timeout(wait);
+            if event.is_ok() {
+                self.counters.inbox_depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            match event {
                 Ok(PeerEvent::Deliver(from, msg)) => self.handle_envelope(from, msg),
                 Ok(PeerEvent::Command(cmd)) => {
                     if !self.handle_command(cmd) {

@@ -2,7 +2,6 @@ use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -12,7 +11,7 @@ use epigossip::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::peer::{NetMessage, PeerEvent};
+use crate::peer::{InboxSender, NetMessage, PeerEvent};
 
 /// A delayed in-memory delivery awaiting its due time.
 struct DelayedSend {
@@ -21,8 +20,8 @@ struct DelayedSend {
     from: NodeId,
     to: NodeId,
     msg: NetMessage,
-    tx: mpsc::Sender<PeerEvent>,
-    failures: mpsc::Sender<PeerEvent>,
+    tx: InboxSender,
+    failures: InboxSender,
 }
 
 impl PartialEq for DelayedSend {
@@ -88,8 +87,8 @@ impl DelayLine {
             while q.peek().is_some_and(|d| d.due <= now) {
                 let d = q.pop().unwrap();
                 drop(q);
-                if d.tx.send(PeerEvent::Deliver(d.from, d.msg)).is_err() {
-                    let _ = d.failures.send(PeerEvent::Failed(d.to));
+                if d.tx.try_deliver(PeerEvent::Deliver(d.from, d.msg)).is_err() {
+                    let _ = d.failures.try_deliver(PeerEvent::Failed(d.to));
                 }
                 q = self.queue.lock().unwrap();
             }
@@ -119,8 +118,8 @@ enum Inner {
     /// In-process channels, optionally with injected uniform latency —
     /// the DAS-emulation transport.
     Mem {
-        /// Event senders per peer.
-        registry: Arc<RwLock<HashMap<NodeId, mpsc::Sender<PeerEvent>>>>,
+        /// Bounded inbox senders per peer.
+        registry: Arc<RwLock<HashMap<NodeId, InboxSender>>>,
         /// Injected latency range (ms), if any.
         latency_ms: Option<(u64, u64)>,
         /// Shared delay thread serving latency injection.
@@ -178,11 +177,7 @@ impl Transport {
     /// # Errors
     ///
     /// I/O errors from binding the TCP listener.
-    pub(crate) fn register(
-        &self,
-        id: NodeId,
-        inbox: mpsc::Sender<PeerEvent>,
-    ) -> std::io::Result<()> {
+    pub(crate) fn register(&self, id: NodeId, inbox: InboxSender) -> std::io::Result<()> {
         match &self.inner {
             Inner::Mem { registry, .. } => {
                 registry.write().unwrap().insert(id, inbox);
@@ -227,23 +222,17 @@ impl Transport {
     /// fast: `to` is reported on `failures` (the paper's deployments run on
     /// TCP, where a dead endpoint refuses the connection immediately), so
     /// the sender can skip the broken link instead of waiting for `T(q)`.
-    pub(crate) fn send(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        msg: NetMessage,
-        failures: &mpsc::Sender<PeerEvent>,
-    ) {
+    pub(crate) fn send(&self, from: NodeId, to: NodeId, msg: NetMessage, failures: &InboxSender) {
         match &self.inner {
             Inner::Mem { registry, latency_ms, delay, rng } => {
                 let Some(tx) = registry.read().unwrap().get(&to).cloned() else {
-                    let _ = failures.send(PeerEvent::Failed(to));
+                    let _ = failures.try_deliver(PeerEvent::Failed(to));
                     return;
                 };
                 match *latency_ms {
                     None => {
-                        if tx.send(PeerEvent::Deliver(from, msg)).is_err() {
-                            let _ = failures.send(PeerEvent::Failed(to));
+                        if tx.try_deliver(PeerEvent::Deliver(from, msg)).is_err() {
+                            let _ = failures.try_deliver(PeerEvent::Failed(to));
                         }
                     }
                     Some((lo, hi)) => {
@@ -263,7 +252,7 @@ impl Transport {
             }
             Inner::Tcp { registry, .. } => {
                 let Some(addr) = registry.read().unwrap().get(&to).copied() else {
-                    let _ = failures.send(PeerEvent::Failed(to));
+                    let _ = failures.try_deliver(PeerEvent::Failed(to));
                     return;
                 };
                 let frame = frame(from, &msg);
@@ -271,12 +260,12 @@ impl Transport {
                 std::thread::spawn(move || match TcpStream::connect(addr) {
                     Ok(mut stream) => {
                         if stream.write_all(&frame).is_err() {
-                            let _ = failures.send(PeerEvent::Failed(to));
+                            let _ = failures.try_deliver(PeerEvent::Failed(to));
                         }
                         let _ = stream.shutdown(std::net::Shutdown::Write);
                     }
                     Err(_) => {
-                        let _ = failures.send(PeerEvent::Failed(to));
+                        let _ = failures.try_deliver(PeerEvent::Failed(to));
                     }
                 });
             }
@@ -306,11 +295,7 @@ fn frame(from: NodeId, msg: &NetMessage) -> Bytes {
     buf.freeze()
 }
 
-fn serve_conn(
-    mut stream: TcpStream,
-    space: Space,
-    inbox: mpsc::Sender<PeerEvent>,
-) -> std::io::Result<()> {
+fn serve_conn(mut stream: TcpStream, space: Space, inbox: InboxSender) -> std::io::Result<()> {
     loop {
         let mut len_buf = [0u8; 4];
         match stream.read_exact(&mut len_buf) {
@@ -326,7 +311,7 @@ fn serve_conn(
         let mut body = Bytes::from(body);
         let from = body.get_u64_le();
         if let Ok(msg) = crate::wire::decode(&space, body) {
-            if inbox.send(PeerEvent::Deliver(from, msg)).is_err() {
+            if inbox.try_deliver(PeerEvent::Deliver(from, msg)).is_err() {
                 return Ok(()); // peer gone
             }
         }
@@ -338,6 +323,7 @@ mod tests {
     use super::*;
     use attrspace::Query;
     use autosel_core::{Message, QueryId, QueryMsg};
+    use std::sync::mpsc;
 
     fn sample_msg(space: &Space) -> NetMessage {
         NetMessage::Protocol(Message::Query(QueryMsg {
@@ -367,9 +353,9 @@ mod tests {
     fn mem_transport_delivers() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::mem(None);
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = InboxSender::test_pair(64);
         t.register(7, tx).unwrap();
-        let (ftx, _frx) = mpsc::channel();
+        let (ftx, _frx) = InboxSender::test_pair(64);
         t.send(3, 7, sample_msg(&space), &ftx);
         let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
         assert_eq!(from, 3);
@@ -380,9 +366,9 @@ mod tests {
     fn mem_transport_with_latency_delivers() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::mem(Some((1, 3)));
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = InboxSender::test_pair(64);
         t.register(7, tx).unwrap();
-        let (ftx, _frx) = mpsc::channel();
+        let (ftx, _frx) = InboxSender::test_pair(64);
         t.send(3, 7, sample_msg(&space), &ftx);
         let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
         assert_eq!(from, 3);
@@ -393,10 +379,10 @@ mod tests {
     fn mem_transport_drops_to_dead() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::mem(None);
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = InboxSender::test_pair(64);
         t.register(7, tx).unwrap();
         t.deregister(7);
-        let (ftx, frx) = mpsc::channel();
+        let (ftx, frx) = InboxSender::test_pair(64);
         t.send(3, 7, sample_msg(&space), &ftx);
         assert!(rx.try_recv().is_err());
         match frx.try_recv().expect("fail-fast feedback delivered") {
@@ -410,9 +396,9 @@ mod tests {
     fn tcp_transport_round_trips_frames() {
         let space = Space::uniform(2, 80, 3).unwrap();
         let t = Transport::tcp(space.clone());
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = InboxSender::test_pair(64);
         t.register(9, tx).unwrap();
-        let (ftx, _frx) = mpsc::channel();
+        let (ftx, _frx) = InboxSender::test_pair(64);
         t.send(4, 9, sample_msg(&space), &ftx);
         let (from, msg) = expect_delivery(&rx, Duration::from_secs(5));
         assert_eq!(from, 4);

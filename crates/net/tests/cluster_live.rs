@@ -74,6 +74,7 @@ fn fast_config() -> NetConfig {
         poll_interval_ms: 10,
         injected_latency_ms: Some((1, 3)),
         bootstrap_degree: 3,
+        ..NetConfig::default()
     }
 }
 
@@ -217,6 +218,59 @@ fn observed_cluster_traces_queries_and_gossip() {
     // Threads interleave freely, yet causality must still resolve: every
     // recorded hop hangs off a recorded parent.
     assert_eq!(tree.problems(), Vec::<String>::new());
+}
+
+/// Soak-style health bounds on a *live* cluster: the per-peer gossip gauges
+/// aggregate into the same layer reading the simulator's `gossip_health()`
+/// produces, so the same bounds apply — every peer gossips into a non-empty
+/// view, descriptor ages stay bounded by a few periods, and the bounded
+/// inboxes never drop under idle-plus-query load.
+#[test]
+fn live_gossip_health_within_soak_bounds() {
+    let space = Space::uniform(2, 80, 3).unwrap();
+    let cfg = fast_config();
+    let pts = points(&space, 40, 21);
+    let cluster = NetCluster::spawn(
+        space.clone(),
+        pts,
+        cfg.clone(),
+        Transport::mem(cfg.injected_latency_ms),
+        17,
+    )
+    .unwrap();
+
+    // Converged = every peer's random view is non-empty (mean ≥ 1 link per
+    // layer would still pass with stragglers; require links ≥ nodes).
+    assert!(
+        wait_until(
+            || {
+                let (random, semantic) = cluster.gossip_health();
+                random.links >= random.nodes && semantic.links >= semantic.nodes
+            },
+            Duration::from_secs(30),
+        ),
+        "gossip views never populated: {:?}",
+        cluster.gossip_health()
+    );
+
+    let (random, semantic) = cluster.gossip_health();
+    assert_eq!(random.nodes, 40);
+    assert_eq!(semantic.nodes, 40);
+    assert!(random.turnover > 0, "random layer admitted no descriptors");
+    // Freshness: mean descriptor age stays within a handful of gossip
+    // rounds once the overlay is warm (ages are in rounds ×1000; the bound
+    // is deliberately loose for loaded single-CPU CI boxes).
+    assert!(
+        random.mean_age_x1000() < 64_000,
+        "stale random views: {:?}",
+        random
+    );
+
+    // The bounded inboxes held: nothing dropped at idle+query load.
+    let stats = cluster.inbox_stats();
+    let dropped: u64 = stats.values().map(|s| s.dropped).sum();
+    assert_eq!(dropped, 0, "bounded inboxes dropped under light load");
+    cluster.shutdown();
 }
 
 #[test]

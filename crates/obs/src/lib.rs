@@ -16,7 +16,17 @@
 //!
 //! A [`Registry`] of counters and log2-bucketed histograms (deterministic,
 //! sorted snapshots) is also an [`Observer`], aggregating the standard
-//! gauges.
+//! gauges. Two production additions build on it:
+//!
+//! * [`window`] — ring-of-buckets sliding windows ([`WindowedCounter`],
+//!   [`WindowedHistogram`]) so rates (qps, msgs/s) and windowed tail
+//!   quantiles can be snapshotted at any instant; a [`Registry`] built
+//!   [`with_windows`](Registry::with_windows) feeds them straight from
+//!   event timestamps, so windowed snapshots stay deterministic under
+//!   virtual time.
+//! * [`flight`] — a [`FlightRecorder`] ring of the most recent K events,
+//!   bounded memory, dumpable as trace JSONL on invariant violation or
+//!   demand.
 //!
 //! ## Design constraints
 //!
@@ -38,14 +48,18 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod jsonl;
 pub mod observer;
 pub mod registry;
 pub mod trace;
+pub mod window;
 
 pub use event::{Event, Layer, NodeRef, QueryRef};
+pub use flight::FlightRecorder;
 pub use jsonl::JsonlSink;
 pub use observer::{Fanout, NullObserver, ObsHandle, Observer};
-pub use registry::{Histogram, Registry, Snapshot};
+pub use registry::{Histogram, Registry, Snapshot, WindowSnapshot};
 pub use trace::{Hop, QueryTrace, TraceSummary, TraceTree};
+pub use window::{WindowRate, WindowSpec, WindowedCounter, WindowedHistogram};

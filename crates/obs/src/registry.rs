@@ -6,6 +6,7 @@ use std::sync::Mutex;
 
 use crate::event::Event;
 use crate::observer::Observer;
+use crate::window::{WindowRate, WindowSpec, WindowedCounter, WindowedHistogram};
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -71,12 +72,80 @@ impl Histogram {
             .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
             .collect()
     }
+
+    /// Folds another histogram into this one (bucket-wise addition).
+    ///
+    /// This is how windowed histograms aggregate their ring of per-bucket
+    /// sub-histograms into one snapshot; because buckets are positional the
+    /// merge is exact — merging then querying equals querying the union of
+    /// both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated `q`-quantile of the recorded samples, `q ∈ [0, 1]`.
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the sample
+    /// of rank `ceil(q · count)` and linearly interpolates inside it
+    /// (bucket `b > 0` spans `[2^(b-1), 2^b)`), clamped to [`max`]. Returns
+    /// 0.0 when the histogram is empty; `quantile(0.0)` selects the
+    /// smallest recorded sample's bucket and `quantile(1.0)` is exactly
+    /// [`max`].
+    ///
+    /// **Error bound.** The true rank-`r` sample lies in the same bucket
+    /// the estimate is drawn from, so estimate and truth are both within
+    /// one power-of-two span: the estimate is off by strictly less than a
+    /// factor of 2 (relative error < 100%), never exceeds [`max`], and for
+    /// bucket 0 (the value 0) it is exact. With every sample an exact power
+    /// of two, the rank-selection step itself is exact and only the
+    /// intra-bucket interpolation adds error.
+    ///
+    /// Monotone in `q` by construction: cumulative counts only grow and the
+    /// interpolation within a bucket is increasing.
+    ///
+    /// [`max`]: Histogram::max
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the selected sample, 1-based: ceil(q·count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if b == 0 {
+                    return 0.0; // bucket 0 holds only the value 0
+                }
+                // Bucket b spans [2^(b-1), 2^b − 1]; bucket 64 tops out at
+                // u64::MAX. Interpolating toward the *inclusive* top keeps
+                // single-value buckets (b = 1) exact.
+                let lo = 1u64 << (b - 1);
+                let hi = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                let into = (rank - seen) as f64 / c as f64; // (0, 1]
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return est.min(self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64 // unreachable in practice: rank ≤ count
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    wcounters: BTreeMap<String, WindowedCounter>,
+    whistograms: BTreeMap<String, WindowedHistogram>,
 }
 
 /// A deterministic point-in-time copy of a [`Registry`], sorted by key.
@@ -113,6 +182,46 @@ impl Snapshot {
     }
 }
 
+/// A deterministic point-in-time reading of every sliding window in a
+/// [`Registry`], sorted by name. `at` is the caller-supplied snapshot
+/// instant; each window covers `(at − span_ms, at]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// The instant the snapshot was taken at (caller's clock).
+    pub at: u64,
+    /// Window span in milliseconds.
+    pub span_ms: u64,
+    /// Windowed counters, ascending by name.
+    pub rates: Vec<(String, WindowRate)>,
+    /// Merged windowed histograms, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl WindowSnapshot {
+    /// Renders the snapshot as stable, diff-friendly text: one
+    /// `name = total (rate/s)` line per counter, one quantile line per
+    /// histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "window at={} span_ms={}", self.at, self.span_ms);
+        for (name, r) in &self.rates {
+            let _ = writeln!(out, "{name} = {} ({:.2}/s)", r.total, r.per_sec);
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}: count={} p50={:.0} p99={:.0} p999={:.0} max={}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
 /// A shared registry of named counters and histograms.
 ///
 /// "Lock-free-enough": one short mutex held per update — contention only
@@ -130,12 +239,29 @@ impl Snapshot {
 #[derive(Debug, Default)]
 pub struct Registry {
     inner: Mutex<Inner>,
+    /// When set, `*_at` updates also feed per-name sliding windows of this
+    /// shape, and [`Registry::window_snapshot`] reads them back.
+    window: Option<WindowSpec>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry without windowed metrics.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// An empty registry whose `*_at` updates also maintain sliding windows
+    /// of shape `spec` (one [`WindowedCounter`] / [`WindowedHistogram`] per
+    /// name, created lazily). The [`Observer`] impl feeds windows from each
+    /// event's own `at` timestamp, so windowed readings are deterministic
+    /// under virtual time and wall-clock-driven on the network runtime.
+    pub fn with_windows(spec: WindowSpec) -> Self {
+        Registry { inner: Mutex::default(), window: Some(spec) }
+    }
+
+    /// The window shape, when windowed metrics are enabled.
+    pub fn window_spec(&self) -> Option<WindowSpec> {
+        self.window
     }
 
     /// Adds 1 to the named counter (creating it at 0).
@@ -153,6 +279,62 @@ impl Registry {
     pub fn record(&self, name: &str, value: u64) {
         let mut inner = self.inner.lock().expect("registry lock");
         inner.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// [`add`](Self::add) stamped at `at_ms`: also feeds the name's sliding
+    /// window when windows are enabled.
+    pub fn add_at(&self, name: &str, delta: u64, at_ms: u64) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(spec) = self.window {
+            inner
+                .wcounters
+                .entry(name.to_string())
+                .or_insert_with(|| WindowedCounter::new(spec))
+                .add(at_ms, delta);
+        }
+    }
+
+    /// [`record`](Self::record) stamped at `at_ms`: also feeds the name's
+    /// sliding window when windows are enabled.
+    pub fn record_at(&self, name: &str, value: u64, at_ms: u64) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.histograms.entry(name.to_string()).or_default().record(value);
+        if let Some(spec) = self.window {
+            inner
+                .whistograms
+                .entry(name.to_string())
+                .or_insert_with(|| WindowedHistogram::new(spec))
+                .record(at_ms, value);
+        }
+    }
+
+    /// The named counter's window ending at `now_ms` (None when the name
+    /// has no windowed history or windows are disabled).
+    pub fn window_rate(&self, name: &str, now_ms: u64) -> Option<WindowRate> {
+        self.inner.lock().expect("registry lock").wcounters.get(name).map(|c| c.rate(now_ms))
+    }
+
+    /// Merged histogram of the named window ending at `now_ms` — feed it to
+    /// [`Histogram::quantile`] for windowed p50/p99/p999.
+    pub fn window_histogram(&self, name: &str, now_ms: u64) -> Option<Histogram> {
+        self.inner.lock().expect("registry lock").whistograms.get(name).map(|h| h.merged(now_ms))
+    }
+
+    /// Deterministic snapshot of every sliding window at `now_ms`, sorted
+    /// by name. Empty when windows are disabled.
+    pub fn window_snapshot(&self, now_ms: u64) -> WindowSnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        WindowSnapshot {
+            at: now_ms,
+            span_ms: self.window.map(|w| w.span_ms()).unwrap_or(0),
+            rates: inner.wcounters.iter().map(|(k, c)| (k.clone(), c.rate(now_ms))).collect(),
+            histograms: inner
+                .whistograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.merged(now_ms)))
+                .collect(),
+        }
     }
 
     /// Current value of a counter (0 when absent).
@@ -178,24 +360,27 @@ impl Registry {
 
 impl Observer for Registry {
     fn on_event(&self, event: &Event) {
+        let at = event.at();
         let mut key = String::with_capacity(32);
         key.push_str("event.");
         key.push_str(event.kind());
-        self.add(&key, 1);
+        self.add_at(&key, 1, at);
         match *event {
-            Event::QueryReceived { duplicate: true, .. } => self.inc("query.duplicates"),
-            Event::ReplySent { count, .. } => self.record("reply.count", count),
-            Event::QueryCompleted { count, .. } => self.record("query.final_count", count),
+            Event::QueryReceived { duplicate: true, .. } => {
+                self.add_at("query.duplicates", 1, at);
+            }
+            Event::ReplySent { count, .. } => self.record_at("reply.count", count, at),
+            Event::QueryCompleted { count, .. } => self.record_at("query.final_count", count, at),
             Event::GossipRound { layer, view_size, mean_age_x1000, replaced, .. } => {
                 let l = layer.name();
-                self.record(&format!("gossip.view_size.{l}"), view_size as u64);
-                self.record(&format!("gossip.mean_age_x1000.{l}"), mean_age_x1000);
-                self.add(&format!("gossip.replaced.{l}"), replaced);
+                self.record_at(&format!("gossip.view_size.{l}"), view_size as u64, at);
+                self.record_at(&format!("gossip.mean_age_x1000.{l}"), mean_age_x1000, at);
+                self.add_at(&format!("gossip.replaced.{l}"), replaced, at);
             }
             Event::ViewChange { links, zero, changed, .. } => {
-                self.record("routing.links", links as u64);
-                self.record("routing.zero_slots", zero as u64);
-                self.add("routing.slots_changed", changed as u64);
+                self.record_at("routing.links", links as u64, at);
+                self.record_at("routing.zero_slots", zero as u64, at);
+                self.add_at("routing.slots_changed", changed as u64, at);
             }
             _ => {}
         }
@@ -239,6 +424,108 @@ mod tests {
     }
 
     #[test]
+    fn quantile_exact_on_power_of_two_samples() {
+        // Samples that each own a bucket: rank selection is exact and the
+        // intra-bucket interpolation lands on the sample's own power of two
+        // only at the bucket's top — so assert bucket containment plus the
+        // exact endpoints instead of equality.
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 512.0, "q=1 is exactly max");
+        assert_eq!(h.quantile(0.1), 1.0, "rank 1 is the 1-bucket, clamped to its only value");
+        // The median of 10 samples is rank 5 → the 16-bucket [16, 32).
+        let p50 = h.quantile(0.5);
+        assert!((16.0..32.0).contains(&p50), "p50={p50} outside its bucket");
+        // p99 → rank 10 → the 512-bucket, clamped to max.
+        assert_eq!(h.quantile(0.99), 512.0);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_within_it() {
+        let mut h = Histogram::default();
+        for _ in 0..1_000 {
+            h.record(100); // bucket [64, 128)
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            let est = h.quantile(q);
+            assert!(
+                (64.0..=100.0).contains(&est),
+                "q={q}: {est} outside [bucket lo, max]"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 100.0);
+        // All-zero samples are exact (bucket 0 holds only the value 0).
+        let mut z = Histogram::default();
+        for _ in 0..5 {
+            z.record(0);
+        }
+        assert_eq!(z.quantile(0.5), 0.0);
+        assert_eq!(z.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_is_clamped_to_max() {
+        let mut h = Histogram::default();
+        h.record(5);
+        h.record(u64::MAX); // bucket 64, lower bound 2^63
+        h.record(u64::MAX - 1);
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= (1u64 << 63) as f64, "p99={p99} below the overflow bucket");
+        assert!(p99 <= u64::MAX as f64, "clamped to max");
+        assert_eq!(h.quantile(1.0), u64::MAX as f64);
+        // Empty histogram: defined as 0.
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union_of_streams() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut union = Histogram::default();
+        for v in [0u64, 3, 17, 900, 64] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [5u64, 5, 2_048, u64::MAX] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn windowed_registry_feeds_windows_from_event_time() {
+        use crate::window::WindowSpec;
+        let r = Registry::with_windows(WindowSpec::new(1_000, 4));
+        let q = QueryRef::new(1, 0);
+        for t in [0u64, 100, 4_500] {
+            r.on_event(&Event::QueryCompleted { at: t, query: q, node: 1, count: 3 });
+        }
+        // Cumulative view counts all three…
+        assert_eq!(r.counter("event.query_completed"), 3);
+        // …the window at t=4500 only the one inside (4500-4000, 4500].
+        let rate = r.window_rate("event.query_completed", 4_500).expect("windowed");
+        assert_eq!(rate.total, 1);
+        let snap = r.window_snapshot(4_500);
+        assert_eq!(snap.at, 4_500);
+        assert_eq!(snap.span_ms, 4_000);
+        assert!(snap.rates.iter().any(|(n, _)| n == "event.query_completed"));
+        let h = r.window_histogram("query.final_count", 4_500).expect("windowed histogram");
+        assert_eq!(h.count(), 1);
+        assert!(snap.render().contains("event.query_completed = 1"));
+        // A window-less registry records cumulatively and snapshots empty.
+        let plain = Registry::new();
+        plain.record_at("x", 9, 50);
+        assert_eq!(plain.histogram("x").unwrap().count(), 1);
+        assert!(plain.window_rate("x", 50).is_none());
+        let empty = plain.window_snapshot(50);
+        assert!(empty.rates.is_empty() && empty.histograms.is_empty());
+    }
+
+    #[test]
     fn registry_observes_standard_gauges() {
         let r = Registry::new();
         let q = QueryRef::new(1, 0);
@@ -266,5 +553,46 @@ mod tests {
         let text = r.snapshot().render();
         assert!(text.contains("query.duplicates = 1"));
         assert!(text.contains("gossip.view_size.random: count=1"));
+    }
+
+    mod quantile_properties {
+        use super::super::Histogram;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any sample set and any ladder of probabilities,
+            /// `quantile` is monotone in `q` and every estimate is bounded
+            /// by the tracked max (and non-negative).
+            #[test]
+            fn quantiles_are_monotone_in_q_and_bounded_by_max(
+                samples in prop::collection::vec(any::<u64>(), 1..200),
+                // The vendored proptest has no f64 range strategy; draw
+                // ppm and scale to [0, 1].
+                q_ppm in prop::collection::vec(0u64..=1_000_000, 1..20),
+            ) {
+                let mut h = Histogram::default();
+                for &v in &samples {
+                    h.record(v);
+                }
+                let mut qs: Vec<f64> =
+                    q_ppm.iter().map(|&p| p as f64 / 1e6).collect();
+                qs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in 0..=1"));
+                let mut prev = f64::NEG_INFINITY;
+                for &q in &qs {
+                    let est = h.quantile(q);
+                    prop_assert!(est >= 0.0, "quantile({q}) = {est} below zero");
+                    prop_assert!(
+                        est <= h.max() as f64,
+                        "quantile({q}) = {est} exceeds max {}",
+                        h.max()
+                    );
+                    prop_assert!(
+                        est >= prev,
+                        "quantile not monotone: q={q} gave {est} after {prev}"
+                    );
+                    prev = est;
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,304 @@
+//! Ring-of-buckets sliding windows over counters and histograms.
+//!
+//! The cumulative [`Registry`](crate::Registry) answers "how many, ever";
+//! production observability also needs "how many, *lately*" — queries/sec,
+//! timeouts/sec, and the tail latency of the last few seconds rather than
+//! of the whole run. A [`WindowedCounter`] / [`WindowedHistogram`] covers
+//! that with a fixed ring of time buckets: recording is O(1), memory is
+//! bounded by the ring, and a snapshot at instant `now` aggregates exactly
+//! the buckets that fall inside the window ending at `now`.
+//!
+//! **Clock discipline.** Nothing here reads a clock. Every operation takes
+//! the caller's `now_ms` — virtual milliseconds from the simulator (so
+//! windowed snapshots are deterministic, same events ⇒ same snapshot) or
+//! wall-clock milliseconds since cluster start from the network runtime.
+//! That is the same contract as [`Event::at`](crate::Event::at), which is
+//! how the [`Registry`](crate::Registry) observer can feed windows straight
+//! from the event stream.
+//!
+//! A bucket is *live* at `now` when its epoch (bucket index,
+//! `now / bucket_ms`) is within the last `buckets` epochs; stale slots are
+//! lazily reset on write and skipped on read, so an idle window naturally
+//! decays to zero without any background maintenance.
+
+use crate::registry::Histogram;
+
+/// Shape of a sliding window: `buckets` ring slots of `bucket_ms` each.
+///
+/// The window span is `bucket_ms × buckets`; a snapshot taken at `now`
+/// covers `(now − span, now]` (the bucket containing `now` is included,
+/// partially filled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Width of one ring bucket, in milliseconds.
+    pub bucket_ms: u64,
+    /// Number of ring buckets.
+    pub buckets: usize,
+}
+
+impl WindowSpec {
+    /// A window of `buckets` slots, `bucket_ms` wide each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(bucket_ms: u64, buckets: usize) -> Self {
+        assert!(bucket_ms > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        WindowSpec { bucket_ms, buckets }
+    }
+
+    /// A spec whose span covers at least `span_ms`, split into `buckets`
+    /// slots (rounded up).
+    pub fn covering(span_ms: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        WindowSpec { bucket_ms: span_ms.div_ceil(buckets as u64).max(1), buckets }
+    }
+
+    /// Total window span in milliseconds.
+    pub fn span_ms(&self) -> u64 {
+        self.bucket_ms * self.buckets as u64
+    }
+
+    fn epoch(&self, now_ms: u64) -> u64 {
+        now_ms / self.bucket_ms
+    }
+
+    /// Whether a slot stamped `slot_epoch` is still inside the window at
+    /// `now_epoch`.
+    fn live(&self, slot_epoch: u64, now_epoch: u64) -> bool {
+        slot_epoch <= now_epoch && slot_epoch + self.buckets as u64 > now_epoch
+    }
+}
+
+/// One windowed counter reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRate {
+    /// Sum of deltas recorded inside the window.
+    pub total: u64,
+    /// `total` divided by the window span — events per second. A constant
+    /// event stream reads its true rate; a burst shorter than the span is
+    /// averaged over the whole span (by design: the span *is* the
+    /// smoothing interval).
+    pub per_sec: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSlot {
+    epoch: u64,
+    value: u64,
+}
+
+/// A counter whose recent history lives in a ring of time buckets.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    spec: WindowSpec,
+    slots: Vec<CounterSlot>,
+    /// All-time total, so one structure serves both cumulative and
+    /// windowed reads.
+    total: u64,
+}
+
+impl WindowedCounter {
+    /// An empty windowed counter.
+    pub fn new(spec: WindowSpec) -> Self {
+        WindowedCounter { spec, slots: vec![CounterSlot::default(); spec.buckets], total: 0 }
+    }
+
+    /// The window shape.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Adds `delta` at instant `now_ms`.
+    pub fn add(&mut self, now_ms: u64, delta: u64) {
+        let epoch = self.spec.epoch(now_ms);
+        let slot = &mut self.slots[(epoch % self.spec.buckets as u64) as usize];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            slot.value = 0;
+        }
+        slot.value += delta;
+        self.total += delta;
+    }
+
+    /// All-time total (every delta ever added).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The window ending at `now_ms`: in-window total and per-second rate.
+    pub fn rate(&self, now_ms: u64) -> WindowRate {
+        let now_epoch = self.spec.epoch(now_ms);
+        let total = self
+            .slots
+            .iter()
+            .filter(|s| self.spec.live(s.epoch, now_epoch))
+            .map(|s| s.value)
+            .sum();
+        WindowRate { total, per_sec: total as f64 * 1e3 / self.spec.span_ms() as f64 }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct HistSlot {
+    epoch: u64,
+    hist: Histogram,
+}
+
+/// A histogram whose recent samples live in a ring of per-bucket
+/// sub-histograms; a snapshot merges the live ones, so windowed tail
+/// quantiles come from [`Histogram::quantile`] on the merged result.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    spec: WindowSpec,
+    slots: Vec<HistSlot>,
+    /// All-time histogram, maintained alongside the ring.
+    lifetime: Histogram,
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram.
+    pub fn new(spec: WindowSpec) -> Self {
+        WindowedHistogram {
+            spec,
+            slots: vec![HistSlot::default(); spec.buckets],
+            lifetime: Histogram::default(),
+        }
+    }
+
+    /// The window shape.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Records one sample at instant `now_ms`.
+    pub fn record(&mut self, now_ms: u64, value: u64) {
+        let epoch = self.spec.epoch(now_ms);
+        let slot = &mut self.slots[(epoch % self.spec.buckets as u64) as usize];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            slot.hist = Histogram::default();
+        }
+        slot.hist.record(value);
+        self.lifetime.record(value);
+    }
+
+    /// The all-time histogram (every sample ever recorded).
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// Merged histogram of the window ending at `now_ms`.
+    pub fn merged(&self, now_ms: u64) -> Histogram {
+        let now_epoch = self.spec.epoch(now_ms);
+        let mut out = Histogram::default();
+        for s in &self.slots {
+            if self.spec.live(s.epoch, now_epoch) {
+                out.merge(&s.hist);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_window_slides_and_decays() {
+        let spec = WindowSpec::new(100, 5); // 500 ms window
+        let mut c = WindowedCounter::new(spec);
+        c.add(0, 3);
+        c.add(120, 2);
+        c.add(450, 1);
+        assert_eq!(c.rate(450).total, 6, "everything inside the first window");
+        // At t=520 the epoch-0 bucket (holding 3) has left the window.
+        assert_eq!(c.rate(520).total, 3);
+        // Far in the future everything decays; all-time total persists.
+        assert_eq!(c.rate(10_000).total, 0);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn counter_rate_is_per_second_over_the_span() {
+        let spec = WindowSpec::new(1_000, 10); // 10 s window
+        let mut c = WindowedCounter::new(spec);
+        for t in 0..10_000 {
+            if t % 10 == 0 {
+                c.add(t, 1); // 100 events/s
+            }
+        }
+        let r = c.rate(9_999);
+        assert_eq!(r.total, 1_000);
+        assert!((r.per_sec - 100.0).abs() < 1e-9, "got {}", r.per_sec);
+    }
+
+    #[test]
+    fn ring_reuse_resets_stale_slots() {
+        let spec = WindowSpec::new(10, 2); // 20 ms window, tight ring
+        let mut c = WindowedCounter::new(spec);
+        c.add(0, 7);
+        // Epoch 2 reuses epoch 0's slot and must not inherit its value.
+        c.add(25, 1);
+        assert_eq!(c.rate(25).total, 1);
+    }
+
+    #[test]
+    fn histogram_window_merges_live_buckets_only() {
+        let spec = WindowSpec::new(100, 3); // 300 ms window
+        let mut h = WindowedHistogram::new(spec);
+        h.record(0, 1_000);
+        h.record(150, 8);
+        h.record(250, 16);
+        assert_eq!(h.merged(250).count(), 3);
+        // t=320: epoch 0 (the 1000 sample) is out of the window.
+        let m = h.merged(320);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.max(), 16);
+        assert_eq!(h.lifetime().count(), 3);
+        assert_eq!(h.lifetime().max(), 1_000);
+    }
+
+    #[test]
+    fn windowed_quantiles_track_the_recent_tail() {
+        let spec = WindowSpec::new(1_000, 4);
+        let mut h = WindowedHistogram::new(spec);
+        // An old slow phase…
+        for _ in 0..100 {
+            h.record(10, 4_000);
+        }
+        // …then a fast recent phase.
+        for t in 0..100 {
+            h.record(10_000 + t, 8);
+        }
+        let recent = h.merged(10_100);
+        assert_eq!(recent.count(), 100);
+        assert!(recent.quantile(0.99) <= 16.0, "old tail leaked into the window");
+        assert!(h.lifetime().quantile(0.99) >= 2_048.0, "lifetime keeps the slow phase");
+    }
+
+    #[test]
+    fn covering_spec_spans_at_least_the_request() {
+        let spec = WindowSpec::covering(4_500, 8);
+        assert!(spec.span_ms() >= 4_500);
+        assert_eq!(spec.buckets, 8);
+        assert_eq!(WindowSpec::covering(10, 64).bucket_ms, 1);
+    }
+
+    #[test]
+    fn determinism_same_feed_same_snapshot() {
+        let feed: Vec<(u64, u64)> = (0..500).map(|i| (i * 7 % 1_300, i % 40)).collect();
+        let run = || {
+            let mut h = WindowedHistogram::new(WindowSpec::new(50, 8));
+            let mut c = WindowedCounter::new(WindowSpec::new(50, 8));
+            for &(t, v) in &feed {
+                h.record(t, v);
+                c.add(t, 1);
+            }
+            (h.merged(1_300), c.rate(1_300))
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -186,6 +186,19 @@ impl SimCluster {
         self.obs = obs;
     }
 
+    /// Installs several observability sinks at once — sugar over
+    /// [`set_observer`](Self::set_observer) with an
+    /// [`autosel_obs::Fanout`], for the common "registry + flight
+    /// recorder" production pairing. Replaces any previously installed
+    /// observer.
+    pub fn add_observers(&mut self, sinks: Vec<std::sync::Arc<dyn autosel_obs::Observer>>) {
+        let mut fan = autosel_obs::Fanout::new();
+        for s in sinks {
+            fan.push(s);
+        }
+        self.set_observer(ObsHandle::of(fan));
+    }
+
     /// Installs a [`FaultPlan`]: per-message faults apply to every message
     /// sent from now on, and the plan's timed crash/restart events are
     /// scheduled onto the event queue. Installing a plan replaces any

@@ -6,9 +6,11 @@
 use std::sync::Arc;
 
 use attrspace::{Query, Space};
-use autosel_obs::{jsonl::parse_trace, JsonlSink, ObsHandle, Registry, TraceTree};
+use autosel_obs::{
+    jsonl::parse_trace, FlightRecorder, JsonlSink, ObsHandle, Registry, TraceTree, WindowSpec,
+};
 use overlay_sim::faults::FaultPlan;
-use overlay_sim::{LatencyModel, Placement, SimCluster, SimConfig};
+use overlay_sim::{InvariantChecker, LatencyModel, Placement, SimCluster, SimConfig};
 
 fn traced_sim(seed: u64, n: usize) -> (SimCluster, Space, Arc<TraceTree>) {
     let space = Space::uniform(3, 80, 3).unwrap();
@@ -88,9 +90,11 @@ fn observers_do_not_perturb_the_simulation() {
         sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 120);
         sim.wire_oracle();
         if observe {
-            // Heaviest stack available: metrics + trace + serialization.
+            // Heaviest stack available: windowed metrics + flight ring +
+            // trace + serialization.
             let mut fan = autosel_obs::Fanout::new();
-            fan.push(Arc::new(Registry::new()));
+            fan.push(Arc::new(Registry::with_windows(WindowSpec::new(500, 16))));
+            fan.push(Arc::new(FlightRecorder::new(256)));
             fan.push(Arc::new(TraceTree::new()));
             let (sink, _buf) = JsonlSink::shared_buffer();
             fan.push(Arc::new(sink));
@@ -140,6 +144,101 @@ fn jsonl_roundtrip_rebuilds_the_live_tree() {
     assert_eq!(replayed.queries(), live.queries());
     assert_eq!(replayed.render(q), live.render(q), "replay diverged from live trace");
     assert_eq!(replayed.problems(), live.problems());
+}
+
+/// Windowed metrics under virtual time are fully deterministic: the
+/// registry feeds its sliding windows from event timestamps (never a wall
+/// clock), so two same-seed runs render byte-identical windowed snapshots —
+/// rates, windowed quantiles and all.
+#[test]
+fn windowed_snapshots_are_virtual_time_deterministic() {
+    let run = || -> String {
+        let space = Space::uniform(3, 80, 3).unwrap();
+        let mut sim = SimCluster::new(space.clone(), SimConfig::fast_static(), 23);
+        sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 100);
+        sim.wire_oracle();
+        let reg = Arc::new(Registry::with_windows(WindowSpec::new(1_000, 8)));
+        sim.set_observer(ObsHandle::new(reg.clone()));
+        for _ in 0..3 {
+            let origin = sim.random_node();
+            let qid = sim.issue_query(origin, half_space_query(&space), None);
+            sim.run_to_quiescence();
+            sim.forget_query(qid);
+        }
+        // Snapshot at the run's own virtual end time: same events, same
+        // timestamps, same window contents.
+        reg.window_snapshot(sim.now()).render()
+    };
+    let a = run();
+    assert!(a.contains("event.query_issued"), "windows never saw the event stream:\n{a}");
+    assert_eq!(a, run(), "windowed snapshot depends on something besides the event stream");
+}
+
+/// The flight-recorder post-mortem path: a duplication fault trips the
+/// strict invariant checker, and the recorder — installed alongside the
+/// registry via `add_observers` — holds the last K events leading up to
+/// the violation, dumpable as JSONL that the closed-schema trace parser
+/// accepts. Bounded memory: the ring kept at most K of the many more
+/// events the run emitted, and exactly the most recent ones, in order.
+#[test]
+fn invariant_violation_dumps_a_parseable_flight_recording() {
+    const K: usize = 64;
+    let space = Space::uniform(3, 80, 3).unwrap();
+    let mut cfg = SimConfig::fast_static();
+    cfg.protocol.query_timeout_ms = 8_000;
+    cfg.latency = LatencyModel::Constant { ms: 5 };
+    let mut sim = SimCluster::new(space.clone(), cfg, 11);
+    sim.populate(&Placement::Uniform { lo: 0, hi: 80 }, 100);
+    sim.wire_oracle();
+    let flight = Arc::new(FlightRecorder::new(K));
+    let reg = Arc::new(Registry::new());
+    sim.add_observers(vec![flight.clone(), reg.clone()]);
+
+    // Fill the ring with healthy traffic first — the recorder is always-on,
+    // not armed by the fault — so the dump shows the lead-up, not just the
+    // crash site.
+    for _ in 0..2 {
+        let origin = sim.random_node();
+        let qid = sim.issue_query(origin, half_space_query(&space), None);
+        sim.run_to_quiescence();
+        sim.forget_query(qid);
+    }
+
+    // Duplicate every protocol message once: the strict checker forbids
+    // duplicate deliveries, so the run must halt at the first one.
+    sim.set_fault_plan(FaultPlan::new().duplicate_protocol(1.0, 1));
+    let origin = sim.random_node();
+    let _ = sim.issue_query(origin, half_space_query(&space), None);
+    let violation = sim
+        .run_to_quiescence_checked(&mut InvariantChecker::strict())
+        .expect_err("seeded duplication must trip the strict checker");
+    let rendered = violation.to_string();
+    assert!(rendered.contains("duplicate"), "unexpected violation: {rendered}");
+
+    // The ring is a bounded window onto a larger stream…
+    assert_eq!(flight.len(), K, "expected a full ring at the violation point");
+    assert!(
+        flight.total_seen() > K as u64,
+        "run too small to exercise wraparound ({} events)",
+        flight.total_seen()
+    );
+    assert_eq!(flight.dropped(), flight.total_seen() - K as u64);
+
+    // …whose dump is ordinary trace JSONL: closed schema, monotone-ish
+    // event times, parseable by the same parser as a full trace.
+    let mut dump = Vec::new();
+    let lines = flight.dump_jsonl(&mut dump).expect("in-memory dump");
+    assert_eq!(lines, K as u64);
+    let events = parse_trace(std::str::from_utf8(&dump).unwrap()).expect("dump parses");
+    assert_eq!(events.len(), K);
+    assert!(
+        events.windows(2).all(|w| w[0].at() <= w[1].at()),
+        "flight dump out of order"
+    );
+    // The ring held the *most recent* events: its newest timestamp is the
+    // newest the registry saw anywhere.
+    let newest = events.last().unwrap().at();
+    assert_eq!(newest, sim.now(), "ring tail should sit at the violating instant");
 }
 
 /// Gossip health gauges tick when the membership layer is on: the registry
