@@ -12,6 +12,7 @@
 //! | `unwrap-in-protocol` | `core/src/node.rs`, `core/src/routing.rs` | these files define the protocol invariants — every panic site must state the invariant it relies on (`expect`), tests included, since test panics are how invariant breakage first surfaces |
 //! | `obs-schema` | `crates/obs/src/event.rs`, non-test | the trace JSON schema is closed (docs/OBSERVABILITY.md); a new key or event kind must be added to the schema table deliberately, not leak in via a string literal |
 //! | `unbounded-channel` | `crates/net/src`, non-test | bounded inboxes are the load-survival invariant: every peer queue is `mpsc::sync_channel` with drop-on-full accounting, so an unbounded `mpsc::channel()` reintroduces the memory blow-up and hides backpressure the netload bench is meant to surface |
+//! | `spawn-per-send` | `crates/net/src`, non-test | the TCP transport once spawned a thread (and opened a connection) *per message* — the scalability bug the persistent link data plane replaced; every legitimate runtime thread is long-lived and named via `thread::Builder`, so a bare `thread::spawn` in the runtime is either that regression returning or an unnamed thread that ruins stack traces |
 //!
 //! The scanner is hand-rolled (no syn, no regex — the crate has zero
 //! external dependencies): comments and string literals are masked out of
@@ -44,11 +45,13 @@ pub enum Rule {
     ObsSchema,
     /// Unbounded `mpsc::channel()` in the live runtime's non-test code.
     UnboundedChannel,
+    /// Bare `thread::spawn` in the live runtime's non-test code.
+    SpawnPerSend,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::StdCollections,
         Rule::BinaryHeap,
         Rule::WallClock,
@@ -56,6 +59,7 @@ impl Rule {
         Rule::UnwrapInProtocol,
         Rule::ObsSchema,
         Rule::UnboundedChannel,
+        Rule::SpawnPerSend,
     ];
 
     /// The rule's stable name (used in pragmas and reports).
@@ -68,6 +72,7 @@ impl Rule {
             Rule::UnwrapInProtocol => "unwrap-in-protocol",
             Rule::ObsSchema => "obs-schema",
             Rule::UnboundedChannel => "unbounded-channel",
+            Rule::SpawnPerSend => "spawn-per-send",
         }
     }
 }
@@ -424,6 +429,12 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         if in_net_src && !in_test && has_token(code_line, "mpsc::channel") {
             push(Rule::UnboundedChannel, line, &scanned);
         }
+        // `thread::Builder` spawns (named, long-lived) spell the method as
+        // `.spawn(...)`, so the qualified `thread::spawn` token only hits
+        // the bare free function — the per-message spawn pattern.
+        if in_net_src && !in_test && has_token(code_line, "thread::spawn") {
+            push(Rule::SpawnPerSend, line, &scanned);
+        }
     }
 
     if obs_event_file {
@@ -601,6 +612,29 @@ mod tests {
         assert!(rules_hit("crates/sim/src/cluster.rs", src).is_empty());
         // …and a reasoned pragma still escapes.
         let allowed = "// lint:allow(unbounded-channel) — shutdown path, ≤1 message ever\nfn f() { let p = std::sync::mpsc::channel::<u8>(); }\n";
+        assert!(rules_hit("crates/net/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn spawn_per_send_flagged_in_net_runtime_only() {
+        let src = "fn f() { std::thread::spawn(move || serve()); }\n";
+        assert!(
+            rules_hit("crates/net/src/transport.rs", src).contains(&Rule::SpawnPerSend),
+            "positive match required"
+        );
+        let bare = "use std::thread;\nfn f() { thread::spawn(|| {}); }\n";
+        assert!(rules_hit("crates/net/src/peer.rs", bare).contains(&Rule::SpawnPerSend));
+        // Named, long-lived threads via the Builder are the sanctioned form.
+        let builder = "fn f() { std::thread::Builder::new().name(\"autosel-net-writer\".into()).spawn(|| {}).unwrap(); }\n";
+        assert!(rules_hit("crates/net/src/transport.rs", builder).is_empty());
+        // Test code may spawn however it likes…
+        assert!(rules_hit("crates/net/tests/live.rs", src).is_empty());
+        let module = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(rules_hit("crates/net/src/transport.rs", module).is_empty());
+        // …other crates are out of scope…
+        assert!(rules_hit("crates/bench/src/bin/x.rs", src).is_empty());
+        // …and a reasoned pragma still escapes.
+        let allowed = "// lint:allow(spawn-per-send) — one-shot probe, joined below\nfn f() { std::thread::spawn(|| {}); }\n";
         assert!(rules_hit("crates/net/src/x.rs", allowed).is_empty());
     }
 

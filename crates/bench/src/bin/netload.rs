@@ -11,6 +11,24 @@
 //! non-blocking [`NetCluster::begin_query`] ticket API; one issuing thread
 //! sustains thousands of in-flight queries.
 //!
+//! `--transport mem|tcp` selects the data plane: `mem` is the DAS-style
+//! in-process emulation (with injected latency), `tcp` runs the persistent
+//! per-destination links over real loopback sockets (injected latency off —
+//! the sockets provide their own). TCP runs publish the link counters
+//! (`net.tcp.conn_established`, `net.tcp.conn_failed`, `net.tcp.tx_batches`,
+//! `net.tcp.tx_frames`, `net.tcp.tx_queue_full_drops`,
+//! `net.tcp.tx_oversize_drops`) through the windowed registry and append
+//! them to the JSON row.
+//!
+//! `--sweep` replaces the single fixed-rate measure phase with a rate
+//! sweep: offered qps steps ×1.6 per stage (each `MEASURE_MS` long) until
+//! achieved/offered drops under 0.9 or the stage budget runs out. The
+//! **knee** — the highest offered rate the cluster still kept up with — is
+//! recorded as `knee_qps` alongside the per-stage `[offered, issued,
+//! achieved]` triples. Stage accounting is approximate at saturation:
+//! queries still in flight after a stage's bounded drain are counted as
+//! that stage's timeouts.
+//!
 //! All latency figures are sourced from **windowed obs snapshots**: each
 //! completion is recorded into a [`Registry`] built with a window covering
 //! the measure phase, and the reported p50/p99/p999 are
@@ -20,23 +38,28 @@
 //! A [`FlightRecorder`] rides along in the observer fanout; with
 //! `--kill <fraction>` the harness kills that fraction of nodes at the
 //! measure midpoint and `--flight-out <path>` dumps the recorder's last K
-//! events around the fault as parseable trace JSONL.
+//! events around the fault as parseable trace JSONL. (`--kill` is
+//! incompatible with `--sweep`.)
 //!
 //! Environment (mirroring `sweepbench`): `AUTOSEL_NETLOAD_NODES` (60),
-//! `AUTOSEL_NETLOAD_RATE` offered qps (25), `AUTOSEL_NETLOAD_WARMUP_MS`
-//! (3000), `AUTOSEL_NETLOAD_MEASURE_MS` (5000),
+//! `AUTOSEL_NETLOAD_RATE` offered qps (25) — the *base* rate under
+//! `--sweep`, `AUTOSEL_NETLOAD_WARMUP_MS` (3000),
+//! `AUTOSEL_NETLOAD_MEASURE_MS` per phase/stage (5000),
 //! `AUTOSEL_NETLOAD_TIMEOUT_MS` per-query deadline (15000),
 //! `AUTOSEL_NETLOAD_SIGMA` (8), `AUTOSEL_NETLOAD_SEED` (42),
 //! `AUTOSEL_NETLOAD_TAG` (current), `AUTOSEL_NETLOAD_OUT`
 //! (BENCH_net.json).
 //!
 //! `--check` exits non-zero unless the artifact is well-formed, something
-//! completed, the completion ratio is ≥ 50%, no issue errors occurred, and
-//! the reported quantiles are monotone (p50 ≤ p99 ≤ p999 ≤ max).
+//! completed, no issue errors occurred, and the reported quantiles are
+//! monotone (p50 ≤ p99 ≤ p999 ≤ max). Fixed-rate runs additionally gate
+//! completion ≥ 50%; sweep runs gate ≥ 2 stages and a positive knee; TCP
+//! runs gate the persistent-connection invariant (frames ≫ connects,
+//! batches ≤ frames).
 //!
 //! ```text
 //! AUTOSEL_NETLOAD_NODES=40 AUTOSEL_NETLOAD_RATE=10 \
-//!   cargo run --release -p bench --bin netload -- --check
+//!   cargo run --release -p bench --bin netload -- --check --transport tcp
 //! ```
 
 // lint:allow-file(wall-clock) — the live runtime runs on real time; wall
@@ -49,7 +72,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attrspace::{Point, Query, Space};
-use autosel_net::{NetCluster, NetConfig, QueryTicket, Transport};
+use autosel_net::{NetCluster, NetConfig, QueryTicket, TcpStatsSnapshot, Transport};
 use autosel_obs::{Fanout, FlightRecorder, ObsHandle, Registry, WindowSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,8 +81,16 @@ const SCHEMA: &str = "autosel/bench-net/v1";
 /// Flight-recorder ring size: enough context around a fault without
 /// unbounded growth.
 const FLIGHT_CAPACITY: usize = 2_048;
-/// `--check` fails below this completed/issued ratio.
+/// `--check` fails below this completed/issued ratio (fixed-rate runs).
 const MIN_COMPLETION: f64 = 0.5;
+/// Offered-rate multiplier between sweep stages.
+const SWEEP_FACTOR: f64 = 1.6;
+/// Sweep stage budget — bounds the run even if the knee never appears.
+const SWEEP_MAX_STAGES: usize = 8;
+/// A stage "keeps up" while achieved/offered stays at or above this.
+const KNEE_RATIO: f64 = 0.9;
+/// Bounded between-stage drain; stragglers count as the stage's timeouts.
+const STAGE_DRAIN_MS: u64 = 1_000;
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -90,7 +121,7 @@ struct Inflight {
     issued: Instant,
 }
 
-/// Tallies accumulated by the measure phase.
+/// Tallies accumulated by a measure phase (or summed across sweep stages).
 #[derive(Default)]
 struct Tally {
     issued: u64,
@@ -100,9 +131,26 @@ struct Tally {
     delivery_sum: f64,
 }
 
+impl Tally {
+    fn absorb(&mut self, other: &Tally) {
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.timeouts += other.timeouts;
+        self.errors += other.errors;
+        self.delivery_sum += other.delivery_sum;
+    }
+}
+
+/// One sweep stage's outcome: `[offered, issued, achieved]` qps.
+struct StageResult {
+    offered_qps: f64,
+    issued_qps: f64,
+    achieved_qps: f64,
+}
+
 /// Drains completed and timed-out tickets from `outstanding`, recording
 /// completion latencies into the windowed registry at `now_ms` since `t0`.
-fn sweep(
+fn sweep_tickets(
     outstanding: &mut Vec<Inflight>,
     registry: &Registry,
     t0: Instant,
@@ -129,13 +177,123 @@ fn sweep(
     });
 }
 
+/// Shared state of one load run: the generator's RNG, the registry window
+/// clock anchored at `t0`, and the TCP counter cursor for delta publishing.
+struct Harness {
+    registry: Arc<Registry>,
+    transport: Transport,
+    t0: Instant,
+    query: Query,
+    rng: StdRng,
+    timeout: Duration,
+    sigma: u32,
+    last_tcp: TcpStatsSnapshot,
+}
+
+impl Harness {
+    /// Publishes the TCP link counters' growth since the last call as
+    /// windowed counter increments (`net.tcp.*`). No-op on mem transport.
+    fn publish_tcp(&mut self) {
+        let Some(cur) = self.transport.tcp_stats() else { return };
+        let now_ms = self.t0.elapsed().as_millis() as u64;
+        let bump = |name: &str, cur_v: u64, last_v: u64| {
+            if cur_v > last_v {
+                self.registry.add_at(name, cur_v - last_v, now_ms);
+            }
+        };
+        bump("net.tcp.conn_established", cur.conn_established, self.last_tcp.conn_established);
+        bump("net.tcp.conn_failed", cur.conn_failed, self.last_tcp.conn_failed);
+        bump("net.tcp.tx_batches", cur.tx_batches, self.last_tcp.tx_batches);
+        bump("net.tcp.tx_frames", cur.tx_frames, self.last_tcp.tx_frames);
+        bump(
+            "net.tcp.tx_queue_full_drops",
+            cur.tx_queue_full_drops,
+            self.last_tcp.tx_queue_full_drops,
+        );
+        bump("net.tcp.tx_oversize_drops", cur.tx_oversize_drops, self.last_tcp.tx_oversize_drops);
+        self.last_tcp = cur;
+    }
+
+    /// One measure phase: open-loop Poisson arrivals at `rate` qps for
+    /// `measure_dur`, then a bounded drain of `drain_dur`. Tickets still
+    /// outstanding after the drain count as timeouts. A non-zero
+    /// `kill_fraction` fires once at the phase midpoint (fixed-rate mode).
+    fn run_stage(
+        &mut self,
+        cluster: &mut NetCluster,
+        rate: f64,
+        measure_dur: Duration,
+        drain_dur: Duration,
+        kill_fraction: f64,
+        killed: &mut Vec<u64>,
+    ) -> Tally {
+        let measure_start = Instant::now();
+        let mut next_arrival_s = 0.0f64;
+        let mut outstanding: Vec<Inflight> = Vec::new();
+        let mut tally = Tally::default();
+        while measure_start.elapsed() < measure_dur {
+            if kill_fraction > 0.0
+                && killed.is_empty()
+                && measure_start.elapsed() >= measure_dur / 2
+            {
+                *killed = cluster.kill_fraction(kill_fraction);
+                eprintln!("[netload] injected fault: killed {} nodes", killed.len());
+            }
+            let now_s = measure_start.elapsed().as_secs_f64();
+            if now_s >= next_arrival_s {
+                let origin = cluster.random_node();
+                tally.issued += 1;
+                self.registry.add_at(
+                    "net.queries.issued",
+                    1,
+                    self.t0.elapsed().as_millis() as u64,
+                );
+                match cluster.begin_query(origin, self.query.clone(), Some(self.sigma)) {
+                    Some(ticket) => {
+                        outstanding.push(Inflight { ticket, issued: Instant::now() });
+                    }
+                    None => tally.errors += 1,
+                }
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                next_arrival_s += -(1.0 - u).ln() / rate;
+                continue; // catch up on bursts before sleeping
+            }
+            sweep_tickets(&mut outstanding, &self.registry, self.t0, self.timeout, &mut tally);
+            self.publish_tcp();
+            let gap = Duration::from_secs_f64((next_arrival_s - now_s).max(0.0));
+            std::thread::sleep(gap.min(Duration::from_millis(5)));
+        }
+
+        // Bounded drain; anything left is a timeout from this stage's
+        // point of view (approximate at saturation, exact below the knee).
+        let drain_deadline = Instant::now() + drain_dur;
+        while !outstanding.is_empty() && Instant::now() < drain_deadline {
+            sweep_tickets(&mut outstanding, &self.registry, self.t0, self.timeout, &mut tally);
+            self.publish_tcp();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        tally.timeouts += outstanding.len() as u64;
+        tally
+    }
+}
+
 #[allow(clippy::too_many_lines)] // one linear harness: setup → load → report
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check_mode = args.iter().any(|a| a == "--check");
+    let sweep_mode = args.iter().any(|a| a == "--sweep");
     let kill_fraction: f64 =
         arg_value(&args, "--kill").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let flight_out = arg_value(&args, "--flight-out");
+    let transport_name = arg_value(&args, "--transport").unwrap_or_else(|| "mem".into());
+    if transport_name != "mem" && transport_name != "tcp" {
+        eprintln!("--transport must be mem or tcp, got {transport_name}");
+        std::process::exit(2);
+    }
+    if sweep_mode && kill_fraction > 0.0 {
+        eprintln!("--sweep and --kill are incompatible (the knee needs a stable cluster)");
+        std::process::exit(2);
+    }
 
     let nodes = env_u64("AUTOSEL_NETLOAD_NODES", 60) as usize;
     let rate = env_f64("AUTOSEL_NETLOAD_RATE", 25.0).max(0.1);
@@ -148,9 +306,13 @@ fn main() {
     let out_path =
         std::env::var("AUTOSEL_NETLOAD_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
 
-    // Window covering the whole run (warmup + measure + drain) so the final
-    // snapshot's quantiles see every measured completion.
-    let span_ms = warmup_ms + measure_ms + timeout_ms + 1_000;
+    // Window covering the whole run (warmup + measure/stages + drain) so the
+    // final snapshot's quantiles see every measured completion.
+    let span_ms = if sweep_mode {
+        warmup_ms + SWEEP_MAX_STAGES as u64 * (measure_ms + STAGE_DRAIN_MS) + timeout_ms + 1_000
+    } else {
+        warmup_ms + measure_ms + timeout_ms + 1_000
+    };
     let registry = Arc::new(Registry::with_windows(WindowSpec::covering(span_ms, 64)));
     let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
     let mut fan = Fanout::new();
@@ -158,20 +320,28 @@ fn main() {
     fan.push(Arc::clone(&flight) as Arc<dyn autosel_obs::Observer>);
 
     let space = Space::uniform(3, 80, 3).expect("space");
-    let cfg = NetConfig::default();
+    let mut cfg = NetConfig::default();
+    let transport = if transport_name == "tcp" {
+        // Real sockets bring their own latency; injecting more on top
+        // would double-count it.
+        cfg.injected_latency_ms = None;
+        Transport::tcp(space.clone())
+    } else {
+        Transport::mem(cfg.injected_latency_ms)
+    };
     let t0 = Instant::now();
     let mut cluster = NetCluster::spawn_observed(
         space.clone(),
         points(&space, nodes, seed),
         cfg.clone(),
-        Transport::mem(cfg.injected_latency_ms),
+        transport.clone(),
         seed,
         ObsHandle::of(fan),
     )
     .expect("spawn cluster");
 
     // ---- warmup: let gossip route the overlay, bounded by the budget.
-    eprintln!("[netload] warming up ({nodes} nodes, ≤{warmup_ms} ms)…");
+    eprintln!("[netload] warming up ({nodes} nodes, {transport_name}, ≤{warmup_ms} ms)…");
     let warmup_deadline = t0 + Duration::from_millis(warmup_ms);
     while Instant::now() < warmup_deadline {
         if cluster.mean_links() >= 1.0 {
@@ -180,57 +350,73 @@ fn main() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    // ---- measure: open-loop Poisson arrivals at `rate` qps.
-    eprintln!("[netload] measuring: offered {rate:.1} qps for {measure_ms} ms…");
+    // ---- measure: fixed-rate phase, or stepped sweep stages.
     let query = Query::builder(&space).min("a0", 40).build().expect("query");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x04E7_10AD);
-    let timeout = Duration::from_millis(timeout_ms);
-    let measure_start = Instant::now();
+    let mut harness = Harness {
+        registry: Arc::clone(&registry),
+        transport: transport.clone(),
+        t0,
+        query,
+        rng: StdRng::seed_from_u64(seed ^ 0x04E7_10AD),
+        timeout: Duration::from_millis(timeout_ms),
+        sigma,
+        last_tcp: TcpStatsSnapshot::default(),
+    };
     let measure_dur = Duration::from_millis(measure_ms);
-    let mut next_arrival_s = 0.0f64;
-    let mut outstanding: Vec<Inflight> = Vec::new();
     let mut tally = Tally::default();
     let mut killed: Vec<u64> = Vec::new();
-    while measure_start.elapsed() < measure_dur {
-        if kill_fraction > 0.0
-            && killed.is_empty()
-            && measure_start.elapsed() >= measure_dur / 2
-        {
-            killed = cluster.kill_fraction(kill_fraction);
-            eprintln!("[netload] injected fault: killed {} nodes", killed.len());
-        }
-        let now_s = measure_start.elapsed().as_secs_f64();
-        if now_s >= next_arrival_s {
-            let origin = cluster.random_node();
-            tally.issued += 1;
-            registry.add_at(
-                "net.queries.issued",
-                1,
-                t0.elapsed().as_millis() as u64,
+    let mut stages: Vec<StageResult> = Vec::new();
+    if sweep_mode {
+        let mut offered = rate;
+        for stage in 0..SWEEP_MAX_STAGES {
+            eprintln!(
+                "[netload] sweep stage {stage}: offered {offered:.1} qps for {measure_ms} ms…"
             );
-            match cluster.begin_query(origin, query.clone(), Some(sigma)) {
-                Some(ticket) => {
-                    outstanding.push(Inflight { ticket, issued: Instant::now() });
-                }
-                None => tally.errors += 1,
+            let st = harness.run_stage(
+                &mut cluster,
+                offered,
+                measure_dur,
+                Duration::from_millis(STAGE_DRAIN_MS),
+                0.0,
+                &mut killed,
+            );
+            let measure_s = measure_ms as f64 / 1e3;
+            let result = StageResult {
+                offered_qps: offered,
+                issued_qps: st.issued as f64 / measure_s,
+                achieved_qps: st.completed as f64 / measure_s,
+            };
+            eprintln!(
+                "[netload]   achieved {:.1}/{offered:.1} qps ({} issued, {} completed)",
+                result.achieved_qps, st.issued, st.completed
+            );
+            tally.absorb(&st);
+            let diverged = result.achieved_qps < KNEE_RATIO * result.offered_qps;
+            stages.push(result);
+            if diverged {
+                break; // past the knee: achieved stopped tracking offered
             }
-            let u: f64 = rng.gen_range(0.0..1.0);
-            next_arrival_s += -(1.0 - u).ln() / rate;
-            continue; // catch up on bursts before sleeping
+            offered *= SWEEP_FACTOR;
         }
-        sweep(&mut outstanding, &registry, t0, timeout, &mut tally);
-        let gap = Duration::from_secs_f64((next_arrival_s - now_s).max(0.0));
-        std::thread::sleep(gap.min(Duration::from_millis(5)));
+    } else {
+        eprintln!("[netload] measuring: offered {rate:.1} qps for {measure_ms} ms…");
+        tally = harness.run_stage(
+            &mut cluster,
+            rate,
+            measure_dur,
+            harness.timeout,
+            kill_fraction,
+            &mut killed,
+        );
     }
+    harness.publish_tcp();
 
-    // ---- drain: everything issued gets its full timeout to complete.
-    let drain_deadline = Instant::now() + timeout;
-    while !outstanding.is_empty() && Instant::now() < drain_deadline {
-        sweep(&mut outstanding, &registry, t0, timeout, &mut tally);
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    tally.timeouts += outstanding.len() as u64;
-    drop(outstanding);
+    // The knee: the highest offered rate the cluster still kept up with.
+    let knee_qps = stages
+        .iter()
+        .filter(|s| s.achieved_qps >= KNEE_RATIO * s.offered_qps)
+        .map(|s| s.offered_qps)
+        .fold(0.0f64, f64::max);
 
     // ---- snapshot: rates and quantiles from the windowed registry.
     let now_ms = t0.elapsed().as_millis() as u64;
@@ -240,7 +426,8 @@ fn main() {
         .unwrap_or_default();
     let (p50, p99, p999) =
         (latency.quantile(0.50), latency.quantile(0.99), latency.quantile(0.999));
-    let achieved_qps = tally.completed as f64 * 1e3 / measure_ms as f64;
+    let measured_ms = if sweep_mode { stages.len() as u64 * measure_ms } else { measure_ms };
+    let achieved_qps = tally.completed as f64 * 1e3 / measured_ms.max(1) as f64;
     let mean_delivery = if tally.completed == 0 {
         0.0
     } else {
@@ -248,8 +435,15 @@ fn main() {
     };
     let inbox_dropped: u64 = cluster.inbox_stats().values().map(|s| s.dropped).sum();
     let (gossip_random, gossip_semantic) = cluster.gossip_health();
+    let tcp_stats = transport.tcp_stats();
 
     println!("{}", snapshot.render());
+    if sweep_mode {
+        println!(
+            "sweep: {} stages from {rate:.1} qps ×{SWEEP_FACTOR}, knee at {knee_qps:.1} qps",
+            stages.len()
+        );
+    }
     println!(
         "offered {rate:.1} qps, achieved {achieved_qps:.1} qps ({} issued, {} completed, {} timeouts, {} errors)",
         tally.issued, tally.completed, tally.timeouts, tally.errors
@@ -258,6 +452,13 @@ fn main() {
         "reply latency: p50 {p50:.1} ms, p99 {p99:.1} ms, p999 {p999:.1} ms, max {} ms",
         latency.max()
     );
+    if let Some(s) = &tcp_stats {
+        println!(
+            "tcp links: {} connects ({} failed), {} frames in {} batches, {} queue drops, {} oversize",
+            s.conn_established, s.conn_failed, s.tx_frames, s.tx_batches,
+            s.tx_queue_full_drops, s.tx_oversize_drops
+        );
+    }
 
     // ---- flight dump around the injected fault (or on demand).
     if let Some(path) = &flight_out {
@@ -272,26 +473,59 @@ fn main() {
 
     cluster.shutdown();
 
-    // ---- merge with existing entries (other tags survive) and write.
-    let entry = format!(
-        "{{\"tag\":\"{}\",\"kind\":\"load\",\"transport\":\"mem\",\"nodes\":{nodes},\"offered_qps\":{rate:.2},\"achieved_qps\":{achieved_qps:.2},\"warmup_ms\":{warmup_ms},\"measure_ms\":{measure_ms},\"sigma\":{sigma},\"seed\":{seed},\"issued\":{},\"completed\":{},\"timeouts\":{},\"errors\":{},\"killed\":{},\"p50_ms\":{p50:.2},\"p99_ms\":{p99:.2},\"p999_ms\":{p999:.2},\"max_ms\":{},\"mean_delivery\":{mean_delivery:.4},\"inbox_dropped\":{inbox_dropped},\"gossip_links_random\":{},\"gossip_links_semantic\":{},\"window_span_ms\":{}}}",
-        tag.replace('\\', "\\\\").replace('"', "\\\""),
-        tally.issued,
-        tally.completed,
-        tally.timeouts,
-        tally.errors,
-        killed.len(),
-        latency.max(),
-        gossip_random.links,
-        gossip_semantic.links,
-        snapshot.span_ms,
-    );
-    let tag_marker = format!("{{\"tag\":\"{}\"", tag.replace('\\', "\\\\").replace('"', "\\\""));
+    // ---- merge with existing entries and write. Rows are keyed by
+    // (tag, kind, transport): a tcp sweep never clobbers a mem load row.
+    let esc_tag = tag.replace('\\', "\\\\").replace('"', "\\\"");
+    let kind = if sweep_mode { "sweep" } else { "load" };
+    let tcp_fields = match &tcp_stats {
+        None => String::new(),
+        Some(s) => format!(
+            ",\"tcp_conn_established\":{},\"tcp_conn_failed\":{},\"tcp_tx_batches\":{},\"tcp_tx_frames\":{},\"tcp_tx_queue_full_drops\":{},\"tcp_tx_oversize_drops\":{}",
+            s.conn_established, s.conn_failed, s.tx_batches, s.tx_frames,
+            s.tx_queue_full_drops, s.tx_oversize_drops
+        ),
+    };
+    let entry = if sweep_mode {
+        let stage_json: Vec<String> = stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "[{:.2},{:.2},{:.2}]",
+                    s.offered_qps, s.issued_qps, s.achieved_qps
+                )
+            })
+            .collect();
+        format!(
+            "{{\"tag\":\"{esc_tag}\",\"kind\":\"sweep\",\"transport\":\"{transport_name}\",\"nodes\":{nodes},\"base_qps\":{rate:.2},\"factor\":{SWEEP_FACTOR:.2},\"knee_qps\":{knee_qps:.2},\"stages\":[{}],\"stage_measure_ms\":{measure_ms},\"warmup_ms\":{warmup_ms},\"sigma\":{sigma},\"seed\":{seed},\"issued\":{},\"completed\":{},\"timeouts\":{},\"errors\":{},\"p50_ms\":{p50:.2},\"p99_ms\":{p99:.2},\"p999_ms\":{p999:.2},\"max_ms\":{},\"mean_delivery\":{mean_delivery:.4},\"inbox_dropped\":{inbox_dropped},\"window_span_ms\":{}{tcp_fields}}}",
+            stage_json.join(","),
+            tally.issued,
+            tally.completed,
+            tally.timeouts,
+            tally.errors,
+            latency.max(),
+            snapshot.span_ms,
+        )
+    } else {
+        format!(
+            "{{\"tag\":\"{esc_tag}\",\"kind\":\"load\",\"transport\":\"{transport_name}\",\"nodes\":{nodes},\"offered_qps\":{rate:.2},\"achieved_qps\":{achieved_qps:.2},\"warmup_ms\":{warmup_ms},\"measure_ms\":{measure_ms},\"sigma\":{sigma},\"seed\":{seed},\"issued\":{},\"completed\":{},\"timeouts\":{},\"errors\":{},\"killed\":{},\"p50_ms\":{p50:.2},\"p99_ms\":{p99:.2},\"p999_ms\":{p999:.2},\"max_ms\":{},\"mean_delivery\":{mean_delivery:.4},\"inbox_dropped\":{inbox_dropped},\"gossip_links_random\":{},\"gossip_links_semantic\":{},\"window_span_ms\":{}{tcp_fields}}}",
+            tally.issued,
+            tally.completed,
+            tally.timeouts,
+            tally.errors,
+            killed.len(),
+            latency.max(),
+            gossip_random.links,
+            gossip_semantic.links,
+            snapshot.span_ms,
+        )
+    };
+    let marker =
+        format!("{{\"tag\":\"{esc_tag}\",\"kind\":\"{kind}\",\"transport\":\"{transport_name}\"");
     let mut kept: Vec<String> = Vec::new();
     if let Ok(prev) = std::fs::read_to_string(&out_path) {
         for line in prev.lines() {
             let line = line.trim().trim_end_matches(',');
-            if line.starts_with("{\"tag\":") && !line.starts_with(&tag_marker) {
+            if line.starts_with("{\"tag\":") && !line.starts_with(&marker) {
                 kept.push(line.to_string());
             }
         }
@@ -330,15 +564,40 @@ fn main() {
             std::process::exit(1);
         }
         let completion = tally.completed as f64 / tally.issued.max(1) as f64;
-        // A fault-injection run legitimately times out the victims' trees;
-        // only gate completion on clean runs.
-        if killed.is_empty() && completion < MIN_COMPLETION {
+        // A fault-injection run legitimately times out the victims' trees,
+        // and a sweep deliberately drives stages past the knee; only gate
+        // completion on clean fixed-rate runs.
+        if !sweep_mode && killed.is_empty() && completion < MIN_COMPLETION {
             eprintln!("--check FAILED: completion ratio {completion:.2} < {MIN_COMPLETION}");
             std::process::exit(1);
         }
         if !(p50 <= p99 && p99 <= p999 && p999 <= latency.max() as f64) {
             eprintln!("--check FAILED: quantiles not monotone: {p50} / {p99} / {p999}");
             std::process::exit(1);
+        }
+        if sweep_mode {
+            if stages.len() < 2 {
+                eprintln!("--check FAILED: sweep produced {} stage(s), need ≥ 2", stages.len());
+                std::process::exit(1);
+            }
+            if knee_qps <= 0.0 {
+                eprintln!("--check FAILED: cluster never kept up with the base rate");
+                std::process::exit(1);
+            }
+        }
+        if let Some(s) = &tcp_stats {
+            // The tentpole invariant: connections are persistent, so the
+            // run sends far more frames than it opens connections, and
+            // batching coalesces (never splits) frames.
+            let plane_ok = s.tx_frames > 0
+                && s.conn_established >= 1
+                && s.conn_established * 2 <= s.tx_frames
+                && s.tx_batches >= 1
+                && s.tx_batches <= s.tx_frames;
+            if !plane_ok {
+                eprintln!("--check FAILED: tcp data plane invariant violated: {s:?}");
+                std::process::exit(1);
+            }
         }
         println!("--check OK: well-formed, {completion:.2} completion, quantiles monotone");
     }

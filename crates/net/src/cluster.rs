@@ -374,6 +374,12 @@ impl NetCluster {
             .collect()
     }
 
+    /// The transport every peer of this cluster shares — e.g. to read
+    /// [`Transport::tcp_stats`] during a TCP load run.
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
     /// Mean routing-table link count across alive peers (0.0 when empty) —
     /// the overlay's convergence gauge. Tests poll this with a bounded
     /// deadline instead of sleeping a fixed warm-up, so they adapt to

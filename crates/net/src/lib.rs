@@ -31,6 +31,6 @@ mod transport;
 pub mod wire;
 
 pub use cluster::{GossipHealth, InboxStats, NetCluster, QueryOutcome, QueryTicket};
-pub use config::NetConfig;
+pub use config::{NetConfig, TcpTuning};
 pub use peer::NetMessage;
-pub use transport::Transport;
+pub use transport::{TcpStatsSnapshot, Transport};

@@ -179,6 +179,52 @@ fn tcp_cluster_end_to_end() {
     cluster.shutdown();
 }
 
+/// The full cluster arc — spawn, converge, query, kill a node, recover —
+/// over real TCP sockets, the transport the paper's PlanetLab deployment
+/// ran on. Also pins the persistent data plane's shape: many frames ride
+/// few connections (no connect-per-message), and nothing overflowed the
+/// bounded link queues at this load.
+#[test]
+fn tcp_cluster_survives_kill_and_recovers() {
+    let space = Space::uniform(2, 80, 2).unwrap();
+    let cfg = NetConfig {
+        gossip: epigossip::GossipConfig { period_ms: 40, ..Default::default() },
+        injected_latency_ms: None,
+        ..fast_config()
+    };
+    let pts = points(&space, 12, 19);
+    let mut cluster =
+        NetCluster::spawn(space.clone(), pts, cfg, Transport::tcp(space.clone()), 23).unwrap();
+    assert!(
+        wait_until(|| cluster.mean_links() >= 1.0, Duration::from_secs(30)),
+        "tcp overlay never formed routing links"
+    );
+
+    let query = Query::builder(&space).build().unwrap(); // match everyone alive
+    let best = wait_for_delivery(&mut cluster, &query, 0.8, 12);
+    assert!(best > 0.8, "tcp delivery before kill {best:.2}");
+
+    let victims = cluster.kill_fraction(0.2);
+    assert!(!victims.is_empty());
+
+    // Recovery: fail-fast `Failed` events + gossip eviction re-route
+    // around the dead sockets, exactly as on the mem transport.
+    let best = wait_for_delivery(&mut cluster, &query, 0.8, 12);
+    assert!(best > 0.8, "tcp delivery after kill {best:.2}");
+
+    let stats = cluster.transport().tcp_stats().expect("tcp transport");
+    assert!(stats.tx_frames > 0, "no frames sent: {stats:?}");
+    assert!(stats.conn_established >= 1, "no connections: {stats:?}");
+    // The tentpole invariant at cluster scale: connections are persistent,
+    // so the whole run establishes far fewer connections than it sends
+    // frames (the old transport had conn_established == tx_frames).
+    assert!(
+        stats.conn_established * 2 <= stats.tx_frames,
+        "connect-per-message regression: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
 /// Wall-clock tracing on the live runtime: the same observer that watches
 /// the simulator reconstructs a live cluster's queries into rooted trees,
 /// and the gossip gauges tick with real rounds.
