@@ -13,6 +13,12 @@
 //! | `obs-schema` | `crates/obs/src/event.rs`, non-test | the trace JSON schema is closed (docs/OBSERVABILITY.md); a new key or event kind must be added to the schema table deliberately, not leak in via a string literal |
 //! | `unbounded-channel` | `crates/net/src`, non-test | bounded inboxes are the load-survival invariant: every peer queue is `mpsc::sync_channel` with drop-on-full accounting, so an unbounded `mpsc::channel()` reintroduces the memory blow-up and hides backpressure the netload bench is meant to surface |
 //! | `spawn-per-send` | `crates/net/src`, non-test | the TCP transport once spawned a thread (and opened a connection) *per message* — the scalability bug the persistent link data plane replaced; every legitimate runtime thread is long-lived and named via `thread::Builder`, so a bare `thread::spawn` in the runtime is either that regression returning or an unnamed thread that ruins stack traces |
+//! | `lock-unwrap` | `crates/net/src`, tests included | the runtime's locks are the tracked `net::sync` wrappers (lock-class audit, invariant-stating poison panics); a raw `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` is either an untracked `std::sync` lock sneaking back in, or a poison panic that names no invariant — the same standard the protocol files hold for `.unwrap()` |
+//!
+//! The deeper lock-order analysis (acquisition-graph cycles, blocking
+//! calls under a live guard, guards held across channel sends) lives in
+//! [`lockgraph`](crate::lockgraph) and runs as the `lock-order` pass of
+//! the same `analyze lint` bin.
 //!
 //! The scanner is hand-rolled (no syn, no regex — the crate has zero
 //! external dependencies): comments and string literals are masked out of
@@ -47,11 +53,13 @@ pub enum Rule {
     UnboundedChannel,
     /// Bare `thread::spawn` in the live runtime's non-test code.
     SpawnPerSend,
+    /// Raw `.lock().unwrap()`-style acquisition in the live runtime.
+    LockUnwrap,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::StdCollections,
         Rule::BinaryHeap,
         Rule::WallClock,
@@ -60,6 +68,7 @@ impl Rule {
         Rule::ObsSchema,
         Rule::UnboundedChannel,
         Rule::SpawnPerSend,
+        Rule::LockUnwrap,
     ];
 
     /// The rule's stable name (used in pragmas and reports).
@@ -73,6 +82,7 @@ impl Rule {
             Rule::ObsSchema => "obs-schema",
             Rule::UnboundedChannel => "unbounded-channel",
             Rule::SpawnPerSend => "spawn-per-send",
+            Rule::LockUnwrap => "lock-unwrap",
         }
     }
 }
@@ -114,29 +124,36 @@ const OBS_SCHEMA: &[&str] = &[
 
 /// A source file after masking: comments and literal bodies blanked from
 /// the code view, string literals and test regions recorded on the side.
-struct Scanned {
+/// Shared with the [`lockgraph`](crate::lockgraph) pass.
+pub(crate) struct Scanned {
     /// Raw source lines (pragma detection, excerpts).
-    raw: Vec<String>,
+    pub(crate) raw: Vec<String>,
     /// Code view lines: comments and string/char literal bodies replaced
     /// by spaces, structure (quotes, braces) preserved positionally.
-    code: Vec<String>,
+    pub(crate) code: Vec<String>,
     /// String literal bodies with their 1-based starting line.
-    strings: Vec<(usize, String)>,
+    pub(crate) strings: Vec<(usize, String)>,
     /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
-    test_regions: Vec<(usize, usize)>,
+    pub(crate) test_regions: Vec<(usize, usize)>,
 }
 
 impl Scanned {
-    fn in_test_region(&self, line: usize) -> bool {
+    pub(crate) fn in_test_region(&self, line: usize) -> bool {
         self.test_regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
     }
 
     fn allowed(&self, rule: Rule, line: usize) -> bool {
-        let file_tag = format!("lint:allow-file({})", rule.name());
+        self.allowed_name(rule.name(), line)
+    }
+
+    /// Pragma check by rule name (`lint:allow(name)` on the line or the
+    /// line above; `lint:allow-file(name)` anywhere).
+    pub(crate) fn allowed_name(&self, rule_name: &str, line: usize) -> bool {
+        let file_tag = format!("lint:allow-file({rule_name})");
         if self.raw.iter().any(|l| l.contains(&file_tag)) {
             return true;
         }
-        let tag = format!("lint:allow({})", rule.name());
+        let tag = format!("lint:allow({rule_name})");
         let at = |n: usize| self.raw.get(n.wrapping_sub(1)).is_some_and(|l| l.contains(&tag));
         at(line) || (line > 1 && at(line - 1))
     }
@@ -146,7 +163,7 @@ impl Scanned {
 /// `#[cfg(test)]` regions. Handles line/nested-block comments, string,
 /// raw-string (`r#"…"#`), byte-string and char literals, and
 /// distinguishes lifetimes from char literals well enough for real code.
-fn scan(src: &str) -> Scanned {
+pub(crate) fn scan(src: &str) -> Scanned {
     let bytes: Vec<char> = src.chars().collect();
     let mut code = String::with_capacity(src.len());
     let mut strings: Vec<(usize, String)> = Vec::new();
@@ -360,7 +377,7 @@ fn find_test_regions(code: &[String]) -> Vec<(usize, usize)> {
 
 /// Whether `hay` contains `needle` starting and ending at identifier
 /// boundaries (so `HashMap` does not match `FastHashMapLike`).
-fn has_token(hay: &str, needle: &str) -> bool {
+pub(crate) fn has_token(hay: &str, needle: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = hay[from..].find(needle) {
         let at = from + pos;
@@ -435,6 +452,15 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         if in_net_src && !in_test && has_token(code_line, "thread::spawn") {
             push(Rule::SpawnPerSend, line, &scanned);
         }
+        // Tests included: a test that raw-locks runtime state bypasses the
+        // lock-class audit exactly when concurrency bugs are being chased.
+        if in_net_src
+            && (code_line.contains(".lock().unwrap()")
+                || code_line.contains(".read().unwrap()")
+                || code_line.contains(".write().unwrap()"))
+        {
+            push(Rule::LockUnwrap, line, &scanned);
+        }
     }
 
     if obs_event_file {
@@ -481,7 +507,7 @@ pub fn lint_repo(root: &Path) -> io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
@@ -635,6 +661,32 @@ mod tests {
         assert!(rules_hit("crates/bench/src/bin/x.rs", src).is_empty());
         // …and a reasoned pragma still escapes.
         let allowed = "// lint:allow(spawn-per-send) — one-shot probe, joined below\nfn f() { std::thread::spawn(|| {}); }\n";
+        assert!(rules_hit("crates/net/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_flagged_in_net_runtime_and_its_tests() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+        assert!(
+            rules_hit("crates/net/src/transport.rs", src).contains(&Rule::LockUnwrap),
+            "positive match required"
+        );
+        let read = "fn f() { let n = reg.read().unwrap().len(); }\n";
+        assert!(rules_hit("crates/net/src/peer.rs", read).contains(&Rule::LockUnwrap));
+        let write = "fn f() { reg.write().unwrap().clear(); }\n";
+        assert!(rules_hit("crates/net/src/cluster.rs", write).contains(&Rule::LockUnwrap));
+        // Unit tests inside the runtime are held to the same standard…
+        let module = "#[cfg(test)]\nmod tests {\n    fn f() { q.lock().unwrap().push(1); }\n}\n";
+        assert!(rules_hit("crates/net/src/transport.rs", module).contains(&Rule::LockUnwrap));
+        // …the tracked wrappers (no Result, no unwrap) are the sanctioned form…
+        let tracked = "fn f() { let mut q = self.queue.lock(); q.push(1); }\n";
+        assert!(rules_hit("crates/net/src/transport.rs", tracked).is_empty());
+        // …an invariant-stating expect is fine where std locks remain…
+        let expect = "fn f() { let g = m.lock().expect(\"registry lock poisoned\"); }\n";
+        assert!(rules_hit("crates/net/src/transport.rs", expect).is_empty());
+        // …other crates are out of scope, and a reasoned pragma escapes.
+        assert!(rules_hit("crates/obs/src/flight.rs", src).is_empty());
+        let allowed = "// lint:allow(lock-unwrap) — bench-only scaffold, no runtime lock classes\nfn f() { m.lock().unwrap(); }\n";
         assert!(rules_hit("crates/net/src/x.rs", allowed).is_empty());
     }
 

@@ -27,6 +27,7 @@
 mod cluster;
 mod config;
 mod peer;
+pub mod sync;
 mod transport;
 pub mod wire;
 

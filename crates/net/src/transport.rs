@@ -2,7 +2,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use attrspace::Space;
@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::TcpTuning;
 use crate::peer::{InboxSender, NetMessage, PeerEvent};
+use crate::sync::{TrackedCondvar, TrackedMutex, TrackedRwLock};
 
 /// Frames whose length prefix (`from` + payload) reaches this many bytes
 /// are rejected. Enforced at *send* time — an oversize message is dropped
@@ -53,21 +54,23 @@ impl Ord for DelayedSend {
 /// Single background thread draining latency-injected in-memory sends in
 /// due-time order, replacing a thread-per-message design.
 struct DelayLine {
-    queue: Mutex<BinaryHeap<DelayedSend>>,
+    // lock-class: net.delay.queue
+    queue: TrackedMutex<BinaryHeap<DelayedSend>>,
     /// FIFO tie-break for equal due times. An atomic rather than a second
     /// field under `queue`'s mutex: drawing a sequence number must not
     /// serialize senders against the worker thread holding the queue lock
     /// while it drains due messages.
     seq: AtomicU64,
-    wake: Condvar,
+    // lock-class: net.delay.queue
+    wake: TrackedCondvar,
 }
 
 impl DelayLine {
     fn start() -> Arc<Self> {
         let line = Arc::new(DelayLine {
-            queue: Mutex::new(BinaryHeap::new()),
+            queue: TrackedMutex::new("net.delay.queue", BinaryHeap::new()),
             seq: AtomicU64::new(0),
-            wake: Condvar::new(),
+            wake: TrackedCondvar::new(),
         });
         let worker = Arc::clone(&line);
         std::thread::Builder::new()
@@ -83,22 +86,22 @@ impl DelayLine {
     }
 
     fn push(&self, item: DelayedSend) {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.queue.lock();
         q.push(item);
         self.wake.notify_one();
     }
 
     fn run(&self) {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.queue.lock();
         loop {
             let now = Instant::now();
             while q.peek().is_some_and(|d| d.due <= now) {
-                let d = q.pop().unwrap();
+                let d = q.pop().expect("peek just returned Some");
                 drop(q);
                 if d.tx.try_deliver(PeerEvent::Deliver(d.from, d.msg)).is_err() {
                     let _ = d.failures.try_deliver(PeerEvent::Failed(d.to));
                 }
-                q = self.queue.lock().unwrap();
+                q = self.queue.lock();
             }
             // Recompute `now` before arming the wait: the drain loop above
             // delivered an arbitrary number of messages, and a wait armed
@@ -108,8 +111,8 @@ impl DelayLine {
             q = match q.peek().map(|d| d.due) {
                 // Became due while draining: go straight back to the drain.
                 Some(due) if due <= now => continue,
-                Some(due) => self.wake.wait_timeout(q, due - now).unwrap().0,
-                None => self.wake.wait(q).unwrap(),
+                Some(due) => self.wake.wait_timeout(q, due - now).0,
+                None => self.wake.wait(q),
             };
         }
     }
@@ -184,8 +187,10 @@ struct TcpLink {
     to: NodeId,
     addr: SocketAddr,
     tuning: TcpTuning,
-    state: Mutex<LinkQueue>,
-    wake: Condvar,
+    // lock-class: net.link.state
+    state: TrackedMutex<LinkQueue>,
+    // lock-class: net.link.state
+    wake: TrackedCondvar,
     stats: LinkStats,
 }
 
@@ -195,8 +200,11 @@ impl TcpLink {
             to,
             addr,
             tuning,
-            state: Mutex::new(LinkQueue { queue: VecDeque::new(), shutdown: false }),
-            wake: Condvar::new(),
+            state: TrackedMutex::new(
+                "net.link.state",
+                LinkQueue { queue: VecDeque::new(), shutdown: false },
+            ),
+            wake: TrackedCondvar::new(),
             stats: LinkStats::default(),
         })
     }
@@ -217,7 +225,7 @@ impl TcpLink {
     /// already shut down (its peer deregistered or re-registered
     /// elsewhere) reports fail-fast instead.
     fn enqueue(&self, frame: Bytes, failures: &InboxSender) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         if st.shutdown {
             drop(st);
             let _ = failures.try_deliver(PeerEvent::Failed(self.to));
@@ -234,7 +242,7 @@ impl TcpLink {
     }
 
     fn shutdown(&self) {
-        self.state.lock().unwrap().shutdown = true;
+        self.state.lock().shutdown = true;
         self.wake.notify_one();
     }
 
@@ -242,7 +250,7 @@ impl TcpLink {
     /// batch) or the link is shut down with nothing left to flush
     /// (returning `None`).
     fn collect_batch(&self) -> Option<Vec<QueuedFrame>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         loop {
             if !st.queue.is_empty() {
                 return Some(st.queue.drain(..).collect());
@@ -250,7 +258,7 @@ impl TcpLink {
             if st.shutdown {
                 return None;
             }
-            st = self.wake.wait(st).unwrap();
+            st = self.wake.wait(st);
         }
     }
 
@@ -354,13 +362,15 @@ enum Inner {
     /// the DAS-emulation transport.
     Mem {
         /// Bounded inbox senders per peer.
-        registry: Arc<RwLock<HashMap<NodeId, InboxSender>>>,
+        // lock-class: net.mem.registry
+        registry: Arc<TrackedRwLock<HashMap<NodeId, InboxSender>>>,
         /// Injected latency range (ms), if any.
         latency_ms: Option<(u64, u64)>,
         /// Shared delay thread serving latency injection.
         delay: Arc<DelayLine>,
         /// RNG for latency draws (seeded per transport).
-        rng: Arc<Mutex<SmallRng>>,
+        // lock-class: net.mem.rng
+        rng: Arc<TrackedMutex<SmallRng>>,
     },
     /// Real TCP sockets with the [`wire`](crate::wire) codec — the
     /// PlanetLab transport. Persistent per-destination links (one writer
@@ -368,9 +378,11 @@ enum Inner {
     /// path.
     Tcp {
         /// Listener endpoints per peer.
-        registry: Arc<RwLock<HashMap<NodeId, TcpEndpoint>>>,
+        // lock-class: net.tcp.endpoints
+        endpoints: Arc<TrackedRwLock<HashMap<NodeId, TcpEndpoint>>>,
         /// Persistent outbound links per destination.
-        links: Arc<RwLock<HashMap<NodeId, Arc<TcpLink>>>>,
+        // lock-class: net.tcp.links
+        links: Arc<TrackedRwLock<HashMap<NodeId, Arc<TcpLink>>>>,
         /// Messages rejected at send time for exceeding the frame cap.
         oversize: Arc<AtomicU64>,
         /// Link tuning (queue bound, reconnect backoff).
@@ -385,13 +397,13 @@ impl std::fmt::Debug for Transport {
         match &self.inner {
             Inner::Mem { registry, latency_ms, .. } => f
                 .debug_struct("Transport::Mem")
-                .field("peers", &registry.read().unwrap().len())
+                .field("peers", &registry.read().len())
                 .field("latency_ms", latency_ms)
                 .finish(),
-            Inner::Tcp { registry, links, .. } => f
+            Inner::Tcp { endpoints, links, .. } => f
                 .debug_struct("Transport::Tcp")
-                .field("peers", &registry.read().unwrap().len())
-                .field("links", &links.read().unwrap().len())
+                .field("peers", &endpoints.read().len())
+                .field("links", &links.read().len())
                 .finish(),
         }
     }
@@ -402,10 +414,13 @@ impl Transport {
     pub fn mem(latency_ms: Option<(u64, u64)>) -> Self {
         Transport {
             inner: Inner::Mem {
-                registry: Arc::new(RwLock::new(HashMap::new())),
+                registry: Arc::new(TrackedRwLock::new("net.mem.registry", HashMap::new())),
                 latency_ms,
                 delay: DelayLine::start(),
-                rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(0x7A51_A7E4))),
+                rng: Arc::new(TrackedMutex::new(
+                    "net.mem.rng",
+                    SmallRng::seed_from_u64(0x7A51_A7E4),
+                )),
             },
         }
     }
@@ -425,8 +440,8 @@ impl Transport {
         tuning.validate();
         Transport {
             inner: Inner::Tcp {
-                registry: Arc::new(RwLock::new(HashMap::new())),
-                links: Arc::new(RwLock::new(HashMap::new())),
+                endpoints: Arc::new(TrackedRwLock::new("net.tcp.endpoints", HashMap::new())),
+                links: Arc::new(TrackedRwLock::new("net.tcp.links", HashMap::new())),
                 oversize: Arc::new(AtomicU64::new(0)),
                 tuning,
                 space,
@@ -445,15 +460,22 @@ impl Transport {
     pub(crate) fn register(&self, id: NodeId, inbox: InboxSender) -> std::io::Result<()> {
         match &self.inner {
             Inner::Mem { registry, .. } => {
-                registry.write().unwrap().insert(id, inbox);
+                registry.write().insert(id, inbox);
                 Ok(())
             }
-            Inner::Tcp { registry, space, .. } => {
+            Inner::Tcp { endpoints, space, .. } => {
                 let listener = TcpListener::bind(("127.0.0.1", 0))?;
                 let addr = listener.local_addr()?;
                 let stop = Arc::new(AtomicBool::new(false));
                 let endpoint = TcpEndpoint { addr, stop: Arc::clone(&stop) };
-                if let Some(old) = registry.write().unwrap().insert(id, endpoint) {
+                // Bind the insert's result *before* closing the old
+                // endpoint: `close_endpoint` blocks on a connect, and in
+                // `if let Some(old) = …insert(…)` the write-guard temporary
+                // would stay live across it for the whole block (pre-2024
+                // temporary-lifetime rules) — the exact
+                // blocking-under-guard pattern the lock-order pass flags.
+                let replaced = endpoints.write().insert(id, endpoint);
+                if let Some(old) = replaced {
                     close_endpoint(&old);
                 }
                 let space = space.clone();
@@ -493,13 +515,17 @@ impl Transport {
     pub fn deregister(&self, id: NodeId) {
         match &self.inner {
             Inner::Mem { registry, .. } => {
-                registry.write().unwrap().remove(&id);
+                registry.write().remove(&id);
             }
-            Inner::Tcp { registry, links, .. } => {
-                if let Some(ep) = registry.write().unwrap().remove(&id) {
+            Inner::Tcp { endpoints, links, .. } => {
+                // As in `register`: end each write-guard temporary at the
+                // statement before touching sockets or other locks.
+                let removed = endpoints.write().remove(&id);
+                if let Some(ep) = removed {
                     close_endpoint(&ep);
                 }
-                if let Some(link) = links.write().unwrap().remove(&id) {
+                let link = links.write().remove(&id);
+                if let Some(link) = link {
                     link.shutdown();
                 }
             }
@@ -517,7 +543,7 @@ impl Transport {
     pub(crate) fn send(&self, from: NodeId, to: NodeId, msg: NetMessage, failures: &InboxSender) {
         match &self.inner {
             Inner::Mem { registry, latency_ms, delay, rng } => {
-                let Some(tx) = registry.read().unwrap().get(&to).cloned() else {
+                let Some(tx) = registry.read().get(&to).cloned() else {
                     let _ = failures.try_deliver(PeerEvent::Failed(to));
                     return;
                 };
@@ -528,7 +554,7 @@ impl Transport {
                         }
                     }
                     Some((lo, hi)) => {
-                        let delay_ms = rng.lock().unwrap().gen_range(lo..=hi);
+                        let delay_ms = rng.lock().gen_range(lo..=hi);
                         let seq = delay.next_seq();
                         delay.push(DelayedSend {
                             due: Instant::now() + Duration::from_millis(delay_ms),
@@ -542,8 +568,8 @@ impl Transport {
                     }
                 }
             }
-            Inner::Tcp { registry, links, oversize, tuning, .. } => {
-                let Some(addr) = registry.read().unwrap().get(&to).map(|ep| ep.addr) else {
+            Inner::Tcp { endpoints, links, oversize, tuning, .. } => {
+                let Some(addr) = endpoints.read().get(&to).map(|ep| ep.addr) else {
                     let _ = failures.try_deliver(PeerEvent::Failed(to));
                     return;
                 };
@@ -562,12 +588,8 @@ impl Transport {
     /// Ids currently registered.
     pub fn peers(&self) -> Vec<NodeId> {
         match &self.inner {
-            Inner::Mem { registry, .. } => {
-                registry.read().unwrap().keys().copied().collect()
-            }
-            Inner::Tcp { registry, .. } => {
-                registry.read().unwrap().keys().copied().collect()
-            }
+            Inner::Mem { registry, .. } => registry.read().keys().copied().collect(),
+            Inner::Tcp { endpoints, .. } => endpoints.read().keys().copied().collect(),
         }
     }
 
@@ -581,7 +603,7 @@ impl Transport {
                     tx_oversize_drops: oversize.load(Ordering::Relaxed),
                     ..TcpStatsSnapshot::default()
                 };
-                for link in links.read().unwrap().values() {
+                for link in links.read().values() {
                     let s = link.stats.snapshot();
                     total.conn_established += s.conn_established;
                     total.conn_failed += s.conn_failed;
@@ -604,7 +626,6 @@ impl Transport {
             Inner::Tcp { links, .. } => {
                 let mut out: Vec<(NodeId, TcpStatsSnapshot)> = links
                     .read()
-                    .unwrap()
                     .iter()
                     .map(|(&id, l)| (id, l.stats.snapshot()))
                     .collect();
@@ -619,17 +640,21 @@ impl Transport {
 /// address no longer matches the registry (the peer deregistered and came
 /// back on a new port) is shut down and replaced.
 fn lookup_link(
-    links: &Arc<RwLock<HashMap<NodeId, Arc<TcpLink>>>>,
+    links: &Arc<TrackedRwLock<HashMap<NodeId, Arc<TcpLink>>>>,
     to: NodeId,
     addr: SocketAddr,
     tuning: &TcpTuning,
 ) -> Arc<TcpLink> {
-    if let Some(link) = links.read().unwrap().get(&to) {
+    if let Some(link) = links.read().get(&to) {
         if link.addr == addr {
             return Arc::clone(link);
         }
     }
-    let mut w = links.write().unwrap();
+    // Replacing a stale link must be atomic under the write lock, so the
+    // nested `shutdown` below acquires net.link.state while net.tcp.links
+    // is held — the one sanctioned cross-class edge (links → state); the
+    // writer thread never takes links while holding state, so no cycle.
+    let mut w = links.write();
     // Re-check under the write lock: another sender may have raced us here.
     if let Some(link) = w.get(&to) {
         if link.addr == addr {
@@ -788,7 +813,7 @@ mod tests {
                 // Bulk-fill under our own lock (no per-push wakeups): a
                 // tightly packed backlog, every item already due.
                 let due = Instant::now();
-                let mut q = line.queue.lock().unwrap();
+                let mut q = line.queue.lock();
                 for _ in 0..k {
                     q.push(DelayedSend {
                         due,
@@ -953,7 +978,7 @@ mod tests {
         let (from, _) = expect_delivery(&rx1, Duration::from_secs(5));
         assert_eq!(from, 4);
         let old_addr = match &t.inner {
-            Inner::Tcp { registry, .. } => registry.read().unwrap()[&9].addr,
+            Inner::Tcp { endpoints, .. } => endpoints.read()[&9].addr,
             Inner::Mem { .. } => unreachable!(),
         };
 

@@ -24,10 +24,10 @@
 //! [`InvariantChecker`]: ../overlay_sim/struct.InvariantChecker.html
 
 use std::io::Write;
-use std::sync::Mutex;
 
 use crate::event::Event;
 use crate::observer::Observer;
+use crate::sync::TrackedMutex;
 
 #[derive(Debug)]
 struct Ring {
@@ -46,7 +46,8 @@ struct Ring {
 /// like every observer it never feeds back into the protocol.
 #[derive(Debug)]
 pub struct FlightRecorder {
-    ring: Mutex<Ring>,
+    // lock-class: obs.flight.ring
+    ring: TrackedMutex<Ring>,
     capacity: usize,
 }
 
@@ -59,7 +60,10 @@ impl FlightRecorder {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "flight recorder needs at least one slot");
         FlightRecorder {
-            ring: Mutex::new(Ring { slots: Vec::with_capacity(capacity), next: 0, total: 0 }),
+            ring: TrackedMutex::new(
+                "obs.flight.ring",
+                Ring { slots: Vec::with_capacity(capacity), next: 0, total: 0 },
+            ),
             capacity,
         }
     }
@@ -71,7 +75,7 @@ impl FlightRecorder {
 
     /// Events currently held (≤ capacity).
     pub fn len(&self) -> usize {
-        self.ring.lock().expect("flight ring lock").slots.len()
+        self.ring.lock().slots.len()
     }
 
     /// Whether nothing has been recorded yet.
@@ -81,18 +85,18 @@ impl FlightRecorder {
 
     /// Events ever pushed, including those overwritten since.
     pub fn total_seen(&self) -> u64 {
-        self.ring.lock().expect("flight ring lock").total
+        self.ring.lock().total
     }
 
     /// Events lost to wraparound (`total_seen − len`).
     pub fn dropped(&self) -> u64 {
-        let ring = self.ring.lock().expect("flight ring lock");
+        let ring = self.ring.lock();
         ring.total - ring.slots.len() as u64
     }
 
     /// Records one event, overwriting the oldest once full.
     pub fn push(&self, event: Event) {
-        let mut ring = self.ring.lock().expect("flight ring lock");
+        let mut ring = self.ring.lock();
         ring.total += 1;
         if ring.slots.len() < self.capacity {
             ring.slots.push(event);
@@ -106,7 +110,7 @@ impl FlightRecorder {
     /// The held events, oldest first — exactly the most recent
     /// `min(total_seen, capacity)` pushes in push order.
     pub fn recent(&self) -> Vec<Event> {
-        let ring = self.ring.lock().expect("flight ring lock");
+        let ring = self.ring.lock();
         let mut out = Vec::with_capacity(ring.slots.len());
         if ring.slots.len() == self.capacity {
             out.extend_from_slice(&ring.slots[ring.next..]);
@@ -119,7 +123,7 @@ impl FlightRecorder {
 
     /// Empties the ring (the drop counter keeps counting from where it was).
     pub fn clear(&self) {
-        let mut ring = self.ring.lock().expect("flight ring lock");
+        let mut ring = self.ring.lock();
         ring.slots.clear();
         ring.next = 0;
     }

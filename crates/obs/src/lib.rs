@@ -53,6 +53,7 @@ pub mod json;
 pub mod jsonl;
 pub mod observer;
 pub mod registry;
+pub mod sync;
 pub mod trace;
 pub mod window;
 
@@ -61,5 +62,6 @@ pub use flight::FlightRecorder;
 pub use jsonl::JsonlSink;
 pub use observer::{Fanout, NullObserver, ObsHandle, Observer};
 pub use registry::{Histogram, Registry, Snapshot, WindowSnapshot};
+pub use sync::{TrackedCondvar, TrackedMutex, TrackedRwLock};
 pub use trace::{Hop, QueryTrace, TraceSummary, TraceTree};
 pub use window::{WindowRate, WindowSpec, WindowedCounter, WindowedHistogram};
